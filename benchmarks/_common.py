@@ -1,0 +1,54 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one experiment from DESIGN.md's evaluation
+plan.  The convention:
+
+* the experiment body is a plain function returning an
+  :class:`~repro.analysis.report.ExperimentReport`;
+* the pytest-benchmark entry point runs it once (``pedantic`` with one
+  round — these are *result* benches, not micro-benchmarks), then
+  :func:`emit` prints the report and archives it under
+  ``benchmarks/results/<id>.txt`` so EXPERIMENTS.md can quote it.
+
+Workload lengths are chosen so the whole suite finishes in a few minutes
+of pure Python; the shapes are stable well below these lengths.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.analysis.report import ExperimentReport
+
+# Trace lengths used across benches (ops, not instructions).
+FULL_OPS = 30_000
+SWEEP_OPS = 15_000
+MULTICORE_OPS = 6_000
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(report: ExperimentReport) -> ExperimentReport:
+    """Print a report to the live console and archive it to results/.
+
+    Each experiment leaves two artifacts: the rendered table
+    (``results/<id>.txt``, quoted by EXPERIMENTS.md) and the raw rows
+    (``results/<id>.csv``, for plotting scripts).
+    """
+    from repro.analysis.export import report_to_csv
+
+    text = report.render()
+    # Bypass pytest's capture so the rows appear in the benchmark log.
+    sys.__stdout__.write("\n" + text + "\n")
+    sys.__stdout__.flush()
+    RESULTS_DIR.mkdir(exist_ok=True)
+    stem = report.experiment_id.lower()
+    (RESULTS_DIR / f"{stem}.txt").write_text(text + "\n", encoding="utf-8")
+    report_to_csv(report, RESULTS_DIR / f"{stem}.csv")
+    return report
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,55 @@
+"""[F10] Savings vs junction temperature.
+
+Leakage grows ~exponentially with temperature (doubling every ~25 C), so
+the energy MAPG can save — and the BET's favourability — both improve on
+hot silicon.  Sweep 45..110 C on a memory-bound and a moderate workload.
+Shape claims: MAPG's absolute energy saving grows monotonically with
+temperature; the penalty is temperature-independent (it is pure timing).
+"""
+
+from _common import SWEEP_OPS, emit, run_once
+
+from repro.analysis.report import ExperimentReport
+from repro.analysis.tables import format_fraction_pct
+from repro.config import SystemConfig
+from repro.sim.runner import run_workload, with_policy
+
+TEMPERATURES_C = (45.0, 65.0, 85.0, 110.0)
+WORKLOADS = ("mcf_like", "gcc_like")
+
+
+def build_report() -> ExperimentReport:
+    config = SystemConfig()
+    report = ExperimentReport(
+        "F10", "MAPG energy saving vs junction temperature",
+        headers=["workload", "temp (C)", "leak scale", "energy saving",
+                 "perf penalty"])
+    from repro.power.temperature import leakage_scale_factor
+    for workload in WORKLOADS:
+        for temperature in TEMPERATURES_C:
+            never = run_workload(with_policy(config, "never"), workload,
+                                 SWEEP_OPS, seed=11, temperature_c=temperature)
+            mapg = run_workload(with_policy(config, "mapg"), workload,
+                                SWEEP_OPS, seed=11, temperature_c=temperature)
+            delta = mapg.compare(never)
+            report.add_row(
+                workload, f"{temperature:g}",
+                f"{leakage_scale_factor(temperature):.2f}",
+                format_fraction_pct(delta.energy_saving),
+                format_fraction_pct(delta.performance_penalty, precision=2))
+    report.add_note("nominal characterization temperature is 85 C")
+    report.add_note("penalty is timing-only, hence temperature-independent")
+    return report
+
+
+def test_f10_temperature(benchmark):
+    report = run_once(benchmark, build_report)
+    emit(report)
+    for workload in WORKLOADS:
+        savings = [float(row[3].split()[0]) for row in report.rows
+                   if row[0] == workload]
+        assert savings == sorted(savings)
+
+
+if __name__ == "__main__":
+    print(build_report().render())

@@ -1,0 +1,87 @@
+"""[F15] Memory-level parallelism sensitivity (the in-order assumption).
+
+The paper's core is in-order/blocking — every off-chip miss is a
+full-length gateable stall, the best case for MAPG.  Real out-of-order
+cores overlap misses; this experiment replays the same traces through the
+windowed-MLP core with 1/2/4/8 outstanding-miss windows and measures what
+survives.
+
+Shape claims: the never-gate baseline speeds up monotonically with the
+window (MLP hides memory time) and MAPG's saving at any window > 1 is
+below the blocking-core best case — but *how much* survives depends on
+why the program misses.  The pointer-chasing workload (mcf-like, explicit
+load-to-load dependences in the trace) keeps ~90 % of its saving at
+window 8: no window hides a chase.  The streaming workload (libquantum-
+like, fully independent misses) keeps well under half.  MAPG stays most
+valuable exactly where out-of-order execution helps least.
+"""
+
+import dataclasses
+
+from _common import SWEEP_OPS, emit, run_once
+
+from repro.analysis.report import ExperimentReport
+from repro.analysis.tables import format_fraction_pct
+from repro.config import SystemConfig
+from repro.sim.runner import run_workload, with_policy
+
+WINDOWS = (1, 2, 4, 8)
+WORKLOADS = ("mcf_like", "milc_like", "libquantum_like")
+
+
+def build_report() -> ExperimentReport:
+    base = SystemConfig()
+    report = ExperimentReport(
+        "F15", "MAPG vs memory-level parallelism (miss-window sweep)",
+        headers=["workload", "window", "baseline cycles", "offchip stalls",
+                 "MAPG saving", "MAPG penalty"])
+    for workload in WORKLOADS:
+        for window in WINDOWS:
+            config = base.replace(
+                core=dataclasses.replace(base.core, miss_window=window))
+            never = run_workload(with_policy(config, "never"),
+                                 workload, SWEEP_OPS, seed=11)
+            mapg = run_workload(with_policy(config, "mapg"),
+                                workload, SWEEP_OPS, seed=11)
+            delta = mapg.compare(never)
+            report.add_row(
+                workload, window,
+                never.total_cycles,
+                int(never.offchip_stalls),
+                format_fraction_pct(delta.energy_saving),
+                format_fraction_pct(delta.performance_penalty, precision=2))
+    report.add_note("window 1 = the paper's blocking in-order core")
+    report.add_note("window > 1 stalls only on window-full and dependent-use "
+                    "(load-to-use) events; the stall mix shifts, so savings "
+                    "within window >= 2 need not be monotone")
+    return report
+
+
+def test_f15_mlp(benchmark):
+    report = run_once(benchmark, build_report)
+    emit(report)
+    for workload in WORKLOADS:
+        rows = [row for row in report.rows if row[0] == workload]
+        cycles = [row[2] for row in rows]
+        assert cycles == sorted(cycles, reverse=True)  # MLP speeds baseline
+
+        def pct(cell):
+            return float(cell.split()[0])
+        savings = [pct(row[4]) for row in rows]
+        # Blocking core is the best case; every window > 1 saves less.
+        assert all(savings[0] > s for s in savings[1:])
+
+    def retained(workload):
+        rows = [row for row in report.rows if row[0] == workload]
+        first = float(rows[0][4].split()[0])
+        last = float(rows[-1][4].split()[0])
+        return last / first
+    # Dependence-bound savings survive MLP; streaming savings do not.
+    assert retained("mcf_like") > 0.8
+    assert retained("libquantum_like") < 0.6
+    assert retained("mcf_like") > retained("milc_like") > \
+        retained("libquantum_like")
+
+
+if __name__ == "__main__":
+    print(build_report().render())

@@ -1,0 +1,93 @@
+"""[F16] Core-count scaling under shared DRAM.
+
+Scales a homogeneous memory-bound mix from 1 to 8 cores sharing one DRAM
+(private L1/L2 per core).  Bank contention grows with the core count, so
+each core's off-chip stalls lengthen — and longer stalls are *better*
+gating targets.
+
+Shape claims: mean off-chip stall length grows with the core count (bank
+queueing), but the *predictability* of each stall falls — queueing delay
+depends on the other cores' instantaneous traffic, which no per-core
+predictor can see.  MAPG's saving therefore declines mildly with scale
+while staying within a few points of the single-core figure, and the
+penalty stays bounded.  (This is the observation that motivates memory-
+controller-coordinated wakeup and the authors' follow-on many-core TAP
+work: at scale, the controller — which *can* see the queue — should own
+the wake timing.)
+"""
+
+from _common import MULTICORE_OPS, emit, run_once
+
+from repro.analysis.report import ExperimentReport
+from repro.analysis.tables import format_fraction_pct
+from repro.config import SystemConfig
+from repro.sim.runner import run_multicore, with_policy
+
+CORE_COUNTS = (1, 2, 4, 8)
+PROFILE = "mcf_like"
+
+
+def build_report() -> ExperimentReport:
+    report = ExperimentReport(
+        "F16", f"Core-count scaling, homogeneous {PROFILE} mix, shared DRAM",
+        headers=["cores", "mean stall (cyc)", "row hit rate",
+                 "energy/core (uJ)", "mean saving", "mean penalty"])
+    for cores in CORE_COUNTS:
+        never_cfg = with_policy(SystemConfig(num_cores=cores), "never")
+        mapg_cfg = with_policy(SystemConfig(num_cores=cores), "mapg")
+        never = run_multicore(never_cfg, [PROFILE] * cores, MULTICORE_OPS,
+                              seed=13)
+        mapg = run_multicore(mapg_cfg, [PROFILE] * cores, MULTICORE_OPS,
+                             seed=13)
+        stall_cycles = sum(
+            r.controller_counters.get("offchip_stall_cycles", 0)
+            for r in never.per_core.values())
+        stall_count = max(1, sum(r.offchip_stalls
+                                 for r in never.per_core.values()))
+        savings = []
+        penalties = []
+        for core_id in range(cores):
+            base = never.per_core[core_id]
+            gated = mapg.per_core[core_id]
+            savings.append(1.0 - gated.energy_j / base.energy_j)
+            penalties.append(gated.total_cycles / base.total_cycles - 1.0)
+        sample = never.per_core[0]
+        row_hits = sum(r.memory_counters.get("dram_row_hit", 0)
+                       for r in never.per_core.values())
+        dram_accesses = max(1, sum(r.memory_counters.get("dram_accesses", 0)
+                                   for r in never.per_core.values()))
+        # The DRAM is shared: every core's counters alias the same device,
+        # so read it once from core 0 instead of summing.
+        row_rate = (sample.memory_counters.get("dram_row_hit", 0)
+                    / max(1, sample.memory_counters.get("dram_accesses", 1)))
+        del row_hits, dram_accesses
+        report.add_row(
+            cores,
+            f"{stall_cycles / stall_count:.0f}",
+            format_fraction_pct(row_rate),
+            f"{mapg.total_energy_j / cores * 1e6:.1f}",
+            format_fraction_pct(sum(savings) / len(savings)),
+            format_fraction_pct(sum(penalties) / len(penalties), precision=2))
+    report.add_note("private L1/L2 per core; one shared DRAM (8 banks)")
+    report.add_note("bank contention lengthens stalls as cores are added")
+    return report
+
+
+def test_f16_core_scaling(benchmark):
+    report = run_once(benchmark, build_report)
+    emit(report)
+    stalls = [float(row[1]) for row in report.rows]
+    assert stalls == sorted(stalls)  # contention lengthens stalls
+
+    def pct(cell):
+        return float(cell.split()[0])
+    savings = [pct(row[4]) for row in report.rows]
+    # Contention-induced unpredictability costs a little saving at scale,
+    # but the mechanism stays decisively worthwhile at every core count.
+    assert savings[-1] < savings[0] + 1.0
+    assert all(s > 0.7 * savings[0] for s in savings)
+    assert all(pct(row[5]) < 2.0 for row in report.rows)
+
+
+if __name__ == "__main__":
+    print(build_report().render())

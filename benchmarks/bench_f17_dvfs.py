@@ -1,0 +1,88 @@
+"""[F17] MAPG vs memory-aware DVFS vs both combined.
+
+DVFS cuts *dynamic* energy by slowing the clock through memory-bound
+phases; MAPG cuts *leakage* during the stalls themselves.  They attack
+disjoint energy components, so a designer wants to know whether they
+compete or compose.
+
+For each workload the table evaluates four operating points against the
+full-speed never-gate run: DVFS alone (best frequency from a sweep), MAPG
+alone, both combined, and the combined point's EDP.
+
+Shape claims: on memory-bound workloads DVFS alone saves real energy at a
+visible runtime cost; MAPG alone saves comparable energy at ~no runtime
+cost; combined strictly beats both alone in energy; MAPG-alone keeps the
+best EDP of the single techniques.
+"""
+
+from _common import SWEEP_OPS, emit, run_once
+
+from repro.analysis.report import ExperimentReport
+from repro.analysis.tables import format_fraction_pct
+from repro.config import SystemConfig
+from repro.power.dvfs import DvfsModel
+from repro.sim.runner import run_workload, with_policy
+from repro.sim.simulator import Simulator
+
+WORKLOADS = ("mcf_like", "gcc_like", "povray_like")
+FREQUENCIES = (1.0, 0.9, 0.8, 0.7, 0.6, 0.5)
+
+
+def build_report() -> ExperimentReport:
+    config = SystemConfig()
+    model = DvfsModel(Simulator(with_policy(config, "never")).power_model)
+    report = ExperimentReport(
+        "F17", "MAPG vs memory-aware DVFS vs combined (energy vs full-speed baseline)",
+        headers=["workload", "technique", "freq", "energy saving",
+                 "runtime cost", "EDP ratio"])
+    for workload in WORKLOADS:
+        never = run_workload(with_policy(config, "never"),
+                             workload, SWEEP_OPS, seed=11)
+        mapg = run_workload(with_policy(config, "mapg"),
+                            workload, SWEEP_OPS, seed=11)
+        base = model.evaluate(never, 1.0)
+
+        # Best DVFS point by energy over the sweep.
+        dvfs_points = [model.evaluate(never, r) for r in FREQUENCIES]
+        best_dvfs = min(dvfs_points, key=lambda p: p.energy_j)
+        mapg_point = model.evaluate(mapg, 1.0)
+        combined = min((model.evaluate(mapg, r) for r in FREQUENCIES),
+                       key=lambda p: p.energy_j)
+
+        for label, point in (("dvfs", best_dvfs), ("mapg", mapg_point),
+                             ("combined", combined)):
+            report.add_row(
+                workload, label, f"{point.relative_frequency:g}x",
+                format_fraction_pct(1.0 - point.energy_j / base.energy_j),
+                format_fraction_pct(point.time_s / base.time_s - 1.0,
+                                    precision=2),
+                f"{point.edp() / base.edp():.3f}")
+    report.add_note("DVFS/combined frequency chosen per workload to minimize energy")
+    report.add_note("runtime cost for 'mapg' is its gating penalty; for DVFS "
+                    "it is the stretched compute time")
+    return report
+
+
+def test_f17_dvfs(benchmark):
+    report = run_once(benchmark, build_report)
+    emit(report)
+    rows = {(row[0], row[1]): row for row in report.rows}
+
+    def pct(cell):
+        return float(cell.split()[0])
+
+    for workload in ("mcf_like", "gcc_like"):
+        dvfs = rows[(workload, "dvfs")]
+        mapg = rows[(workload, "mapg")]
+        combined = rows[(workload, "combined")]
+        # Combined strictly beats both alone in energy.
+        assert pct(combined[3]) > pct(dvfs[3])
+        assert pct(combined[3]) > pct(mapg[3])
+        # MAPG's runtime cost is far below DVFS's.
+        assert pct(mapg[4]) < 0.5 * max(0.01, pct(dvfs[4]))
+        # MAPG has the best single-technique EDP.
+        assert float(mapg[5]) <= float(dvfs[5]) + 1e-9
+
+
+if __name__ == "__main__":
+    print(build_report().render())

@@ -1,0 +1,71 @@
+"""[F3] Sensitivity to break-even time.
+
+Sweeps the effective BET from 0.25x to 16x the circuit-derived value on one
+memory-bound and one moderate workload.  Shape claims: savings degrade as
+BET grows (fewer stalls clear the threshold), collapsing toward zero once
+BET exceeds the typical stall length; the gate rate falls monotonically.
+"""
+
+from _common import SWEEP_OPS, emit, run_once
+
+from repro.analysis.report import ExperimentReport
+from repro.analysis.tables import format_fraction_pct
+from repro.config import SystemConfig
+from repro.sim.runner import run_workload, with_policy
+
+SCALES = (0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0)
+WORKLOADS = ("mcf_like", "gcc_like")
+
+
+def build_report() -> ExperimentReport:
+    config = SystemConfig()
+    report = ExperimentReport(
+        "F3", "Energy saving vs break-even time (BET scale sweep)",
+        headers=["workload", "BET scale", "BET (cyc)", "gate rate",
+                 "energy saving", "perf penalty"])
+    for workload in WORKLOADS:
+        baseline = run_workload(with_policy(config, "never"),
+                                workload, SWEEP_OPS, seed=11)
+        for scale in SCALES:
+            variant = with_policy(config, "mapg", bet_scale=scale)
+            result = run_workload(variant, workload, SWEEP_OPS, seed=11)
+            delta = result.compare(baseline)
+            gate_rate = (result.gated_stalls / result.offchip_stalls
+                         if result.offchip_stalls else 0.0)
+            report.add_row(
+                workload, f"{scale:g}x", _bet_cycles(config, scale),
+                format_fraction_pct(gate_rate),
+                format_fraction_pct(delta.energy_saving),
+                format_fraction_pct(delta.performance_penalty, precision=2))
+    report.add_note("gate rate = gated stalls / off-chip stalls")
+    report.add_note("savings collapse once BET exceeds the typical stall length")
+    return report
+
+
+def _bet_cycles(config: SystemConfig, scale: float) -> int:
+    from repro.config import GatingConfig
+    from repro.core.breakeven import BreakEvenAnalyzer
+    from repro.power.gating import SleepTransistorNetwork
+    from repro.power.technology import get_technology
+
+    circuit = SleepTransistorNetwork(get_technology(config.technology)).characterize(
+        config.core.frequency_hz, config.core.pipeline_depth)
+    analyzer = BreakEvenAnalyzer(circuit, GatingConfig(bet_scale=scale))
+    return analyzer.bet_cycles
+
+
+def test_f3_bet_sweep(benchmark):
+    report = run_once(benchmark, build_report)
+    emit(report)
+    # Shape: for each workload, gate rate non-increasing across the sweep.
+    for workload in WORKLOADS:
+        rates = [float(row[3].split()[0]) for row in report.rows
+                 if row[0] == workload]
+        assert all(a >= b - 1.0 for a, b in zip(rates, rates[1:]))
+        savings = [float(row[4].split()[0]) for row in report.rows
+                   if row[0] == workload]
+        assert savings[-1] < savings[2]  # 16x worse than 1x
+
+
+if __name__ == "__main__":
+    print(build_report().render())

@@ -1,0 +1,58 @@
+"""[F4] Sensitivity to DRAM latency.
+
+Scales every DRAM timing component from 0.5x to 3x and measures MAPG on a
+memory-bound and a moderate workload.  Shape claims: slower memory means
+longer stalls, hence more sleep per event and higher savings; penalties
+stay flat because early wakeup still hides the (unchanged) wake latency.
+"""
+
+from _common import SWEEP_OPS, emit, run_once
+
+from repro.analysis.report import ExperimentReport
+from repro.analysis.tables import format_fraction_pct
+from repro.config import SystemConfig
+from repro.sim.runner import run_workload, with_policy
+
+SCALES = (0.5, 0.75, 1.0, 1.5, 2.0, 3.0)
+WORKLOADS = ("mcf_like", "gcc_like")
+
+
+def build_report() -> ExperimentReport:
+    base = SystemConfig()
+    report = ExperimentReport(
+        "F4", "MAPG vs DRAM latency (all timing components scaled)",
+        headers=["workload", "latency scale", "mean stall (cyc)",
+                 "energy saving", "perf penalty", "sleep time"])
+    for workload in WORKLOADS:
+        for scale in SCALES:
+            config = base.replace(dram=base.dram.scaled(scale))
+            never = run_workload(with_policy(config, "never"),
+                                 workload, SWEEP_OPS, seed=11)
+            mapg = run_workload(with_policy(config, "mapg"),
+                                workload, SWEEP_OPS, seed=11)
+            delta = mapg.compare(never)
+            mean_stall = (never.controller_counters.get("offchip_stall_cycles", 0)
+                          / max(1, never.offchip_stalls))
+            report.add_row(
+                workload, f"{scale:g}x", f"{mean_stall:.0f}",
+                format_fraction_pct(delta.energy_saving),
+                format_fraction_pct(delta.performance_penalty, precision=2),
+                format_fraction_pct(mapg.sleep_fraction))
+    report.add_note("wake latency and BET stay constant; only DRAM timing scales")
+    return report
+
+
+def test_f4_memlat_sweep(benchmark):
+    report = run_once(benchmark, build_report)
+    emit(report)
+    for workload in WORKLOADS:
+        sleep_shares = [float(row[5].split()[0]) for row in report.rows
+                        if row[0] == workload]
+        # Shape: sleep share grows with memory latency.
+        assert sleep_shares[0] < sleep_shares[-1]
+        stalls = [float(row[2]) for row in report.rows if row[0] == workload]
+        assert stalls == sorted(stalls)
+
+
+if __name__ == "__main__":
+    print(build_report().render())

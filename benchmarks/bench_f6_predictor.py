@@ -1,0 +1,56 @@
+"""[F6] Residual-latency predictor accuracy.
+
+Runs MAPG with each predictor on every workload and reports mean absolute
+error (cycles), mean absolute percentage error, and the resulting
+performance penalty.  Shape claims: the (pc, bank)-indexed history table
+beats the global scalar predictors, and lower prediction error translates
+into lower penalty (better-timed early wakeups).
+"""
+
+from _common import SWEEP_OPS, emit, run_once
+
+from repro.analysis.report import ExperimentReport
+from repro.analysis.tables import format_fraction_pct
+from repro.config import SystemConfig
+from repro.sim.runner import run_workload, with_policy
+from repro.workloads import profile_names
+
+PREDICTORS = ("fixed", "last_value", "ewma", "table")
+WORKLOADS = ("mcf_like", "libquantum_like", "lbm_like", "gcc_like")
+
+
+def build_report() -> ExperimentReport:
+    config = SystemConfig()
+    report = ExperimentReport(
+        "F6", "Latency-predictor accuracy and its penalty impact (MAPG)",
+        headers=["workload", "predictor", "MAE (cyc)", "MAPE",
+                 "perf penalty", "gate rate"])
+    for workload in WORKLOADS:
+        for predictor in PREDICTORS:
+            result = run_workload(
+                with_policy(config, "mapg", predictor=predictor),
+                workload, SWEEP_OPS, seed=11)
+            gate_rate = (result.gated_stalls / result.offchip_stalls
+                         if result.offchip_stalls else 0.0)
+            report.add_row(
+                workload, predictor,
+                f"{result.prediction_mae_cycles:.1f}",
+                format_fraction_pct(result.prediction_mape),
+                format_fraction_pct(result.performance_penalty, precision=2),
+                format_fraction_pct(gate_rate))
+    report.add_note("MAE/MAPE measured against every off-chip stall's true length")
+    return report
+
+
+def test_f6_predictor(benchmark):
+    report = run_once(benchmark, build_report)
+    emit(report)
+    for workload in WORKLOADS:
+        rows = {row[1]: row for row in report.rows if row[0] == workload}
+        table_mae = float(rows["table"][2])
+        fixed_mae = float(rows["fixed"][2])
+        assert table_mae < fixed_mae
+
+
+if __name__ == "__main__":
+    print(build_report().render())

@@ -1,0 +1,77 @@
+"""[F8] Ablation of MAPG's components.
+
+Removes one mechanism at a time on the most memory-bound workload:
+
+* full MAPG (table predictor, early wakeup, guard margin)
+* no early wakeup (gating decision unchanged, wake on data return)
+* no predictor (static estimate only = bet_guard-with-margin)
+* no guard margin
+* oracle predictor (upper bound for the prediction component)
+
+Shape claims: early wakeup is where the penalty reduction lives; the
+predictor is where the *decision quality* (skipping short stalls) lives;
+the margin trades a little saving for penalty robustness.
+"""
+
+from _common import SWEEP_OPS, emit, run_once
+
+from repro.analysis.report import ExperimentReport
+from repro.analysis.tables import format_fraction_pct
+from repro.config import SystemConfig
+from repro.sim.runner import run_workload, with_policy
+
+WORKLOAD = "mcf_like"
+
+VARIANTS = [
+    ("full mapg", dict(policy="mapg")),
+    ("no early wakeup", dict(policy="mapg", early_wakeup=False)),
+    ("no early margin", dict(policy="mapg", early_margin_cycles=0)),
+    ("no predictor", dict(policy="mapg", predictor="fixed")),
+    ("no guard margin", dict(policy="mapg", guard_margin_cycles=0)),
+    ("adaptive bias", dict(policy="mapg_adaptive")),
+    ("oracle predictor", dict(policy="mapg", predictor="oracle")),
+]
+
+
+def build_report() -> ExperimentReport:
+    config = SystemConfig()
+    baseline = run_workload(with_policy(config, "never"),
+                            WORKLOAD, SWEEP_OPS, seed=11)
+    report = ExperimentReport(
+        "F8", f"MAPG component ablation on {WORKLOAD}",
+        headers=["variant", "energy saving", "perf penalty", "gate rate",
+                 "MAE (cyc)"])
+    for label, variant in VARIANTS:
+        overrides = dict(variant)  # module-level spec stays pristine
+        policy = overrides.pop("policy")
+        result = run_workload(with_policy(config, policy, **overrides),
+                              WORKLOAD, SWEEP_OPS, seed=11)
+        delta = result.compare(baseline)
+        gate_rate = (result.gated_stalls / result.offchip_stalls
+                     if result.offchip_stalls else 0.0)
+        report.add_row(
+            label,
+            format_fraction_pct(delta.energy_saving),
+            format_fraction_pct(delta.performance_penalty, precision=2),
+            format_fraction_pct(gate_rate),
+            f"{result.prediction_mae_cycles:.1f}")
+    report.add_note("baseline for savings/penalty is the never-gate run")
+    return report
+
+
+def test_f8_ablation(benchmark):
+    report = run_once(benchmark, build_report)
+    emit(report)
+    rows = {row[0]: row for row in report.rows}
+
+    def pct(cell):
+        return float(cell.split()[0])
+
+    # Early wakeup is the penalty mechanism.
+    assert pct(rows["no early wakeup"][2]) > 2 * pct(rows["full mapg"][2])
+    # Oracle predictor bounds full MAPG's penalty from below.
+    assert pct(rows["oracle predictor"][2]) <= pct(rows["full mapg"][2]) + 0.01
+
+
+if __name__ == "__main__":
+    print(build_report().render())

@@ -1,0 +1,58 @@
+"""[F9] Staggered wakeup design space: rush current vs wake latency.
+
+Pure circuit-model experiment on the 45 nm node: sweep the number of
+header stagger groups from the legal minimum upward and report the
+worst-case rush current and resulting wake latency.  Shape claims: rush
+current falls as 1/groups; wake latency grows once the current ceiling is
+under-used; the minimum-group point is the knee a designer picks.
+"""
+
+from _common import emit, run_once
+
+from repro.analysis.report import ExperimentReport
+from repro.power.gating import SleepTransistorNetwork
+from repro.power.technology import get_technology
+
+FREQUENCY_HZ = 2e9
+NODE = "45nm"
+GROUP_MULTIPLIERS = (1.0, 1.5, 2.0, 3.0, 4.0, 8.0)
+
+
+def build_report() -> ExperimentReport:
+    tech = get_technology(NODE)
+    network = SleepTransistorNetwork(tech)
+    minimum = network.min_stagger_groups()
+    report = ExperimentReport(
+        "F9", f"Stagger groups vs rush current and wake latency ({NODE})",
+        headers=["groups", "rush peak (A)", "vs ceiling", "wake (ns)",
+                 "wake (cyc @2GHz)"])
+    for multiplier in GROUP_MULTIPLIERS:
+        groups = max(minimum, int(round(minimum * multiplier)))
+        rush = network.rush_peak_current_a(groups)
+        wake_s = network.wake_latency_s(groups)
+        report.add_row(
+            groups,
+            f"{rush:.3f}",
+            f"{rush / tech.max_rush_current_a:.2f}",
+            f"{wake_s * 1e9:.2f}",
+            int(round(wake_s * FREQUENCY_HZ + 0.5)))
+    report.add_note(f"rush-current ceiling: {tech.max_rush_current_a} A; "
+                    f"legal minimum: {minimum} groups")
+    report.add_note("below the minimum the grid-noise budget is violated "
+                    "(the model refuses)")
+    return report
+
+
+def test_f9_stagger(benchmark):
+    report = run_once(benchmark, build_report)
+    emit(report)
+    rushes = [float(row[1]) for row in report.rows]
+    wakes = [float(row[3]) for row in report.rows]
+    tech = get_technology(NODE)
+    assert all(r <= tech.max_rush_current_a * 1.0001 for r in rushes)
+    assert rushes == sorted(rushes, reverse=True)
+    assert wakes == sorted(wakes)
+
+
+if __name__ == "__main__":
+    print(build_report().render())

@@ -1,0 +1,55 @@
+"""[T1] System configuration table.
+
+Regenerates the evaluation's platform table: core, cache, DRAM, and
+technology parameters of the baseline system every other experiment uses.
+"""
+
+from _common import emit, run_once
+
+from repro.analysis.report import ExperimentReport
+from repro.config import default_config
+from repro.sim.simulator import static_offchip_latency_cycles
+
+
+def build_report() -> ExperimentReport:
+    config = default_config()
+    report = ExperimentReport(
+        "T1", "Baseline system configuration", headers=["component", "setting"])
+    core = config.core
+    report.add_row("core clock", f"{core.frequency_hz / 1e9:.1f} GHz")
+    report.add_row("pipeline depth", core.pipeline_depth)
+    report.add_row("issue width", core.issue_width)
+    for cache in (config.l1, config.l2):
+        report.add_row(
+            f"{cache.name} cache",
+            f"{cache.size_bytes // 1024} KiB, {cache.associativity}-way, "
+            f"{cache.line_bytes} B lines, {cache.hit_latency_cycles} cyc, "
+            f"{cache.mshr_entries} MSHRs")
+    dram = config.dram
+    report.add_row(
+        "DRAM organization",
+        f"{dram.channels} ch x {dram.ranks_per_channel} rank x "
+        f"{dram.banks_per_rank} banks, {dram.row_bytes // 1024} KiB rows")
+    report.add_row(
+        "DRAM timing",
+        f"tCAS {dram.t_cas_ns} ns, tRCD {dram.t_rcd_ns} ns, "
+        f"tRP {dram.t_rp_ns} ns, tRAS {dram.t_ras_ns} ns")
+    report.add_row(
+        "memory path overheads",
+        f"controller {dram.controller_overhead_ns} ns, "
+        f"bus {dram.bus_transfer_ns} ns, queue {dram.queue_service_ns} ns")
+    report.add_row("technology", config.technology)
+    report.add_row("static off-chip estimate",
+                   f"{static_offchip_latency_cycles(config)} cycles")
+    report.add_note("every experiment below starts from this configuration")
+    return report
+
+
+def test_t1_config(benchmark):
+    report = run_once(benchmark, build_report)
+    emit(report)
+    assert len(report.rows) >= 8
+
+
+if __name__ == "__main__":
+    print(build_report().render())

@@ -1,0 +1,63 @@
+"""[T2] Power-gating circuit characterization per technology node.
+
+Regenerates the circuit table: header width, stagger groups, drain/wake
+latency, per-event overhead energy, and break-even time at each node.
+The shape claims: BET shrinks as nodes get leakier (gating pays off sooner
+at 32 nm than 90 nm), and both BET and wake latency sit at tens of
+nanoseconds — the same order as one DRAM access, which is the paper's
+entire motivation.
+"""
+
+from _common import emit, run_once
+
+from repro.analysis.report import ExperimentReport
+from repro.power.gating import SleepTransistorNetwork
+from repro.power.technology import TECHNOLOGY_NODES
+from repro.units import format_si
+
+FREQUENCY_HZ = 2e9
+
+
+def build_report() -> ExperimentReport:
+    report = ExperimentReport(
+        "T2", "Sleep-transistor network characterization (2 GHz core)",
+        headers=["node", "width (mm)", "groups", "drain (cyc)",
+                 "wake (ns)", "wake (cyc)", "event E (nJ)", "BET (ns)",
+                 "BET (cyc)", "residual (mW)"])
+    bets = []
+    for name in ("90nm", "65nm", "45nm", "32nm"):
+        tech = TECHNOLOGY_NODES[name]
+        network = SleepTransistorNetwork(tech)
+        circuit = network.characterize(FREQUENCY_HZ)
+        event_nj = network.overhead_energy_j(circuit.breakeven_s) * 1e9
+        report.add_row(
+            name,
+            f"{circuit.switch_width_um / 1000:.0f}",
+            circuit.stagger_groups,
+            circuit.drain_cycles,
+            f"{circuit.wake_latency_s * 1e9:.1f}",
+            circuit.wake_cycles,
+            f"{event_nj:.2f}",
+            f"{circuit.breakeven_s * 1e9:.1f}",
+            circuit.breakeven_cycles,
+            f"{circuit.sleep_residual_power_w * 1e3:.1f}",
+        )
+        bets.append(circuit.breakeven_s)
+    report.add_note("BET shrinks with scaling: leakier nodes recoup overhead faster")
+    report.add_note(
+        f"wake+BET are both ~1 DRAM access "
+        f"({format_si(bets[-1], 's')} .. {format_si(bets[0], 's')}) — "
+        "the regime where a per-access policy is needed")
+    return report
+
+
+def test_t2_circuit(benchmark):
+    report = run_once(benchmark, build_report)
+    emit(report)
+    # Shape claim: BET (cycles, column 8) strictly decreasing across nodes.
+    bet_cycles = [row[8] for row in report.rows]
+    assert bet_cycles == sorted(bet_cycles, reverse=True)
+
+
+if __name__ == "__main__":
+    print(build_report().render())

@@ -1,0 +1,60 @@
+"""[T5] Controller implementation cost.
+
+Tallies the storage each evaluated policy needs in hardware — the
+"negligible area" claim quantified.  Shape claims: even the fullest MAPG
+variant fits in ~130 bytes of state (a rounding error next to a 32 KiB
+L1), and the baselines are strictly cheaper.
+"""
+
+from _common import emit, run_once
+
+from repro.analysis.hardware_cost import estimate_controller_cost
+from repro.analysis.report import ExperimentReport
+from repro.config import SystemConfig, TokenConfig
+from repro.sim.runner import with_policy
+
+VARIANTS = [
+    ("never", {}, {}),
+    ("naive", {}, {}),
+    ("bet_guard", {}, {}),
+    ("mapg", {"predictor": "ewma"}, {}),
+    ("mapg", {"predictor": "table"}, {}),
+    ("mapg_adaptive", {"predictor": "table"}, {}),
+    ("mapg_adaptive", {"predictor": "table"},
+     {"token": TokenConfig(enabled=True, wake_tokens=2)}),
+]
+
+
+def build_report() -> ExperimentReport:
+    report = ExperimentReport(
+        "T5", "MAPG controller storage cost per policy variant",
+        headers=["policy", "predictor", "table entries", "table bits",
+                 "fallback bits", "other bits", "total bytes"])
+    for policy, gating_overrides, system_overrides in VARIANTS:
+        config = with_policy(SystemConfig(**system_overrides), policy,
+                             **gating_overrides)
+        cost = estimate_controller_cost(config)
+        label = config.gating.predictor if policy.startswith("mapg") else "-"
+        report.add_row(
+            policy + ("+tokens" if config.token.enabled else ""),
+            label, cost.table_entries, cost.table_bits,
+            cost.fallback_bits, cost.constant_bits + cost.control_bits,
+            f"{cost.total_bytes:.1f}")
+    report.add_note("per gated core domain; arithmetic is ~3 adders + 1 comparator")
+    report.add_note("for scale: the 32 KiB L1 alongside is ~2900x larger")
+    return report
+
+
+def test_t5_hardware_cost(benchmark):
+    report = run_once(benchmark, build_report)
+    emit(report)
+    totals = {row[0]: float(row[6]) for row in report.rows}
+    assert totals["never"] == 0.0
+    # The full controller stays comfortably sub-200-byte.
+    assert max(totals.values()) < 200.0
+    # Cost ordering: never <= naive <= mapg(table).
+    assert totals["never"] <= totals["naive"] <= totals["mapg"]
+
+
+if __name__ == "__main__":
+    print(build_report().render())

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Explore the power-gating circuit model: sizing, BET, and the saving curve.
+
+For a chosen technology node (and optionally a junction temperature), print
+the sleep-transistor network characterization and an ASCII plot of net
+energy saved per gating event as a function of sleep duration — the curve
+whose zero crossing *is* the break-even time.
+
+    python examples/breakeven_explorer.py [node] [temperature_C]
+    python examples/breakeven_explorer.py 32nm 110
+"""
+
+import sys
+
+from repro import SleepTransistorNetwork, get_technology
+from repro.power.temperature import leakage_scale_factor
+from repro.units import format_si
+
+FREQUENCY_HZ = 2e9
+PLOT_WIDTH = 56
+PLOT_POINTS = 18
+
+
+def plot_saving_curve(network: SleepTransistorNetwork) -> None:
+    bet = network.breakeven_time_s()
+    horizon = 6.0 * bet
+    samples = [(i / (PLOT_POINTS - 1)) * horizon for i in range(PLOT_POINTS)]
+    values = [network.net_saving_j(t) for t in samples]
+    span = max(abs(v) for v in values) or 1.0
+    print(f"\nnet saving per gating event vs sleep duration "
+          f"(BET = {format_si(bet, 's')}):")
+    for t, v in zip(samples, values):
+        offset = int((v / span) * (PLOT_WIDTH // 2))
+        cells = [" "] * (PLOT_WIDTH + 1)
+        cells[PLOT_WIDTH // 2] = "|"
+        marker = PLOT_WIDTH // 2 + offset
+        cells[marker] = "*"
+        label = format_si(t, "s", precision=2)
+        print(f"  {label:>10} {''.join(cells)} {v * 1e9:+7.2f} nJ")
+    print(f"  {'':>10} {'loses energy':^{PLOT_WIDTH // 2}}"
+          f"{'saves energy':^{PLOT_WIDTH // 2}}")
+
+
+def main() -> None:
+    node = sys.argv[1] if len(sys.argv) > 1 else "45nm"
+    temperature = float(sys.argv[2]) if len(sys.argv) > 2 else 85.0
+    tech = get_technology(node)
+    network = SleepTransistorNetwork(tech)
+    circuit = network.characterize(FREQUENCY_HZ)
+    scale = leakage_scale_factor(temperature)
+
+    print(f"technology {tech.name}: Vdd {tech.vdd_v} V, "
+          f"leakage {tech.core_leakage_power_w * scale:.2f} W at {temperature:g} C "
+          f"({tech.leakage_fraction:.0%} of active power at nominal)")
+    print(f"header network : {circuit.switch_width_um / 1000:.0f} mm total width, "
+          f"Ron {network.ron_total_ohm * 1e3:.1f} mOhm, "
+          f"{circuit.stagger_groups} stagger groups")
+    print(f"wake latency   : {format_si(circuit.wake_latency_s, 's')} "
+          f"({circuit.wake_cycles} cycles at 2 GHz)")
+    print(f"drain latency  : {circuit.drain_cycles} cycles")
+    print(f"event overhead : {format_si(circuit.switch_event_energy_j, 'J')} gate drive "
+          f"+ up to {format_si(network.rush_charge_energy_j(1.0), 'J')} rail recharge")
+    print(f"break-even time: {format_si(circuit.breakeven_s, 's')} "
+          f"({circuit.breakeven_cycles} cycles at 2 GHz)")
+
+    plot_saving_curve(network)
+
+    typical_dram_ns = 90e-9
+    saving = network.net_saving_j(typical_dram_ns)
+    verdict = "WORTH GATING" if saving > 0 else "NOT WORTH GATING"
+    print(f"\na typical {format_si(typical_dram_ns, 's')} DRAM stall nets "
+          f"{saving * 1e9:+.2f} nJ -> {verdict}")
+
+
+if __name__ == "__main__":
+    main()

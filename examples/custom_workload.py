@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Define a custom workload profile and study MAPG on it.
+
+Builds a "database-like" profile from scratch (phase-alternating index
+probes and sequential scans), generates a trace, inspects its phase
+structure with the windowed trace summaries, builds a two-program mix with
+the trace tools, and measures MAPG on both.
+
+    python examples/custom_workload.py
+"""
+
+from repro import SystemConfig, Simulator, with_policy
+from repro.analysis import format_fraction_pct, format_table
+from repro.analysis.ascii_chart import sparkline
+from repro.trace.tools import interleave, remap_addresses, window_summaries
+from repro.workloads import PhaseSpec, SyntheticTraceGenerator, WorkloadProfile
+
+NUM_OPS = 12_000
+
+database_like = WorkloadProfile(
+    name="database_like",
+    description="index probes (random) alternating with table scans (sequential)",
+    instructions_per_memory_op=6.0,
+    sequential_fraction=0.35, strided_fraction=0.05, random_fraction=0.60,
+    working_set_bytes=64 * 1024 * 1024,
+    write_fraction=0.15, pc_pool_size=48,
+    reuse_fraction=0.72, reuse_window_lines=8192, reuse_skew=7.0,
+    phases=(
+        PhaseSpec(ops=2500, memory_scale=1.6, random_scale=1.4),  # probe burst
+        PhaseSpec(ops=2500, memory_scale=0.8, random_scale=0.3),  # scan
+    ),
+)
+
+
+def run(trace, label):
+    simulator = Simulator(with_policy(SystemConfig(), "mapg"), workload=label)
+    result = simulator.run(trace)
+    baseline = Simulator(with_policy(SystemConfig(), "never"), workload=label)
+    base_result = baseline.run(trace)
+    delta = result.compare(base_result)
+    return result, delta
+
+
+def main() -> None:
+    generator = SyntheticTraceGenerator(database_like, seed=5)
+    trace = list(generator.operations(NUM_OPS))
+
+    # Phase structure: memory accesses per 500-op window.
+    windows = window_summaries(trace, window_ops=500)
+    intensity = [w["memory_accesses"] / max(1, w["ops"]) for w in windows]
+    print(f"{database_like.name}: {len(trace)} ops, "
+          f"phase period {database_like.phase_schedule().period} ops")
+    print("memory intensity per 500-op window (probe/scan alternation):")
+    print("  " + sparkline(intensity) + "\n")
+
+    result, delta = run(trace, database_like.name)
+
+    # A two-program mix on one time-shared core: same program twice, the
+    # second copy relocated so the copies never share cache lines.
+    relocated = list(remap_addresses(trace, 1 << 40))
+    mix = list(interleave([trace, relocated], chunk_ops=50))
+    mix_result, mix_delta = run(mix, "database_mix")
+
+    print(format_table(
+        ["run", "ipc", "offchip stalls", "energy saving", "perf penalty"],
+        [[result.workload, f"{result.ipc:.3f}", int(result.offchip_stalls),
+          format_fraction_pct(delta.energy_saving),
+          format_fraction_pct(delta.performance_penalty, precision=2)],
+         [mix_result.workload, f"{mix_result.ipc:.3f}",
+          int(mix_result.offchip_stalls),
+          format_fraction_pct(mix_delta.energy_saving),
+          format_fraction_pct(mix_delta.performance_penalty, precision=2)]],
+        title="MAPG on the custom workload (vs never-gate, same trace)"))
+    print("\nthe interleaved mix doubles the footprint, so it misses more —")
+    print("and MAPG's saving grows with the extra stall time.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Multi-core MAPG with TAP wake-token arbitration.
+
+Runs a 4-core memory-bound mix twice — without arbitration and with a
+single shared wake token — and shows that the token bounds simultaneous
+wakeups (the rush-current guarantee) while cores keep sleeping through
+their token waits, so the energy cost is negligible.
+
+    python examples/multicore_tokens.py
+"""
+
+from repro import SystemConfig, TokenConfig, run_multicore, with_policy
+from repro.analysis import format_fraction_pct, format_table
+
+MIX = ["mcf_like", "mcf_like", "lbm_like", "libquantum_like"]
+NUM_OPS = 4000
+
+
+def run(tokens: int):
+    token_config = TokenConfig(enabled=tokens > 0, wake_tokens=max(1, tokens),
+                               token_wait_limit_cycles=500)
+    config = with_policy(
+        SystemConfig(num_cores=len(MIX), token=token_config), "mapg")
+    return run_multicore(config, MIX, NUM_OPS, seed=13)
+
+
+def main() -> None:
+    rows = []
+    for tokens in (0, 2, 1):
+        result = run(tokens)
+        rows.append([
+            "off" if tokens == 0 else str(tokens),
+            f"{result.total_energy_j * 1e3:.3f}",
+            format_fraction_pct(result.mean_performance_penalty, precision=2),
+            int(result.token_counters.get("deferred_grants", 0)),
+            int(result.token_counters.get("forced_grants", 0)),
+        ])
+    print(format_table(
+        ["wake tokens", "energy (mJ)", "mean penalty", "deferred", "forced"],
+        rows, title=f"4-core mix {MIX} under TAP arbitration"))
+    print()
+    print("with 1 token at most one core recharges its rail at any instant,")
+    print("bounding worst-case rush current at 1/4 of the unarbitrated chip.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Compare every gating policy across a spread of workloads.
+
+A compact version of the F2 experiment: three workloads spanning the
+memory-boundedness range, all five policies, identical traces per workload.
+
+    python examples/policy_comparison.py [num_ops]
+"""
+
+import sys
+
+from repro import SystemConfig, run_policy_comparison
+from repro.analysis import format_fraction_pct, format_table
+from repro.analysis.energy import summarize_comparisons
+
+WORKLOADS = ["mcf_like", "gcc_like", "povray_like"]
+POLICIES = ["never", "naive", "bet_guard", "mapg", "oracle"]
+
+
+def main() -> None:
+    num_ops = int(sys.argv[1]) if len(sys.argv) > 1 else 10_000
+    matrix = run_policy_comparison(SystemConfig(), WORKLOADS, POLICIES, num_ops)
+    comparisons = summarize_comparisons(matrix)
+
+    rows = []
+    for workload in WORKLOADS:
+        for policy in POLICIES[1:]:
+            delta = next(c for c in comparisons[policy]
+                         if c.workload == workload)
+            rows.append([
+                workload, policy,
+                format_fraction_pct(delta.energy_saving),
+                format_fraction_pct(delta.performance_penalty, precision=2),
+                f"{delta.edp_ratio:.3f}",
+            ])
+    print(format_table(
+        ["workload", "policy", "energy saving", "perf penalty", "EDP ratio"],
+        rows,
+        title=f"Gating policies vs never-gate baseline ({num_ops} trace ops)"))
+    print()
+    print("reading guide: naive buys savings with a large penalty;")
+    print("MAPG keeps the savings and hides the wake latency; oracle is the bound.")
+
+
+if __name__ == "__main__":
+    main()

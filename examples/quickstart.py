@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Quickstart: measure what MAPG saves on one memory-bound workload.
+
+Runs the same synthetic mcf-like trace through the never-gate baseline and
+the MAPG policy, then prints the energy saving, performance penalty, and
+where the cycles went.
+
+    python examples/quickstart.py
+"""
+
+from repro import SystemConfig, run_workload, with_policy
+
+NUM_OPS = 20_000
+WORKLOAD = "mcf_like"
+
+
+def main() -> None:
+    config = SystemConfig()  # 2 GHz core, 32K L1 / 2M L2, DDR3-like DRAM, 45 nm
+
+    baseline = run_workload(with_policy(config, "never"), WORKLOAD, NUM_OPS)
+    mapg = run_workload(with_policy(config, "mapg"), WORKLOAD, NUM_OPS)
+    delta = mapg.compare(baseline)
+
+    print(f"workload: {WORKLOAD} ({mapg.instructions:,} instructions)")
+    print(f"off-chip stalls: {int(mapg.offchip_stalls):,} "
+          f"(gated {int(mapg.gated_stalls):,})")
+    print()
+    print(f"energy saving     : {delta.energy_saving:7.1%}")
+    print(f"performance penalty: {delta.performance_penalty:7.2%}")
+    print(f"EDP ratio         : {delta.edp_ratio:7.3f}  (< 1 is better)")
+    print()
+    print("where the cycles went (MAPG run):")
+    for state, cycles in sorted(mapg.state_cycles.items(),
+                                key=lambda item: -item[1]):
+        share = cycles / mapg.total_cycles
+        print(f"  {state:<10} {cycles:>10,} cycles  {share:6.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# One-command reproduction: install, test, regenerate every experiment.
+#
+#   sh scripts/reproduce.sh
+#
+# Outputs land in benchmarks/results/<id>.{txt,csv}; the console shows each
+# experiment's table as it is regenerated.  The whole pass takes a few
+# minutes of pure Python on a laptop.
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== install =="
+pip install -e . 2>/dev/null || python setup.py develop
+
+echo "== test suite =="
+python -m pytest tests/
+
+echo "== all experiments =="
+python -m pytest benchmarks/ --benchmark-only
+
+echo "== done: see benchmarks/results/ and EXPERIMENTS.md =="

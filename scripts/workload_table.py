@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Regenerate the workload characterization table in docs/WORKLOADS.md.
+
+    python scripts/workload_table.py [num_ops]
+
+Prints the markdown table; redirect or paste into docs/WORKLOADS.md when
+profiles change.
+"""
+
+import sys
+
+from repro import SystemConfig, run_workload, with_policy
+from repro.workloads import get_profile, profile_names
+
+
+def main() -> None:
+    num_ops = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
+    config = with_policy(SystemConfig(), "never")
+    print("| profile | stands in for | instr/mem-op | random | reuse | "
+          "working set | IPC | stall % | L1 hit % | MPKI |")
+    print("|---|---|---:|---:|---:|---:|---:|---:|---:|---:|")
+    for name in profile_names():
+        profile = get_profile(name)
+        result = run_workload(config, name, num_ops, seed=11)
+        l1_rate = (result.memory_counters.get("l1_hits", 0)
+                   / max(1, result.memory_counters.get("l1_accesses", 1)))
+        mpki = 1000 * result.offchip_stalls / max(1, result.instructions)
+        stands_for = name.replace("_like", "")
+        print(f"| {name} | SPEC {stands_for} | "
+              f"{profile.instructions_per_memory_op:g} | "
+              f"{profile.random_fraction:.2f} | {profile.reuse_fraction:.2f} | "
+              f"{profile.working_set_bytes // (1024 * 1024)} MiB | "
+              f"{result.ipc:.2f} | {result.stall_fraction:.0%} | "
+              f"{l1_rate:.0%} | {mpki:.1f} |")
+
+
+if __name__ == "__main__":
+    main()

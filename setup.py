@@ -1,0 +1,11 @@
+"""Setup shim.
+
+All metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works on environments whose setuptools/pip lack
+PEP 660 editable-wheel support (pip then falls back to the legacy
+``setup.py develop`` path, which needs this file).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,101 @@
+"""MAPG — Memory Access Power Gating (DATE 2012) reproduction library.
+
+Power-gate a CPU core during off-chip memory stalls: decide *whether* to
+gate from a learned residual-latency prediction against the circuit-derived
+break-even time, and *when* to wake from an early-wakeup schedule that
+hides the rail-recharge latency under the stall's predictable tail.
+
+Quickstart::
+
+    from repro import SystemConfig, run_workload, with_policy
+
+    config = SystemConfig()
+    mapg = run_workload(with_policy(config, "mapg"), "mcf_like", num_ops=20_000)
+    base = run_workload(with_policy(config, "never"), "mcf_like", num_ops=20_000)
+    delta = mapg.compare(base)
+    print(f"energy saving {delta.energy_saving:.1%}, "
+          f"penalty {delta.performance_penalty:.2%}")
+
+Package map (see DESIGN.md for the full inventory):
+
+* ``repro.core``      — the contribution: controller, policies, BET math
+* ``repro.power``     — technology nodes, PG circuit model, power states
+* ``repro.memory``    — caches, MSHRs, DRAM timing
+* ``repro.cpu``       — trace-driven core, multi-core merge
+* ``repro.predict``   — residual-latency predictors
+* ``repro.workloads`` — SPEC-like synthetic trace generation
+* ``repro.sim``       — simulator + experiment runners
+* ``repro.analysis``  — aggregation and report formatting
+"""
+
+from repro.config import (
+    CacheConfig,
+    CoreConfig,
+    DramConfig,
+    GatingConfig,
+    PrefetcherConfig,
+    SystemConfig,
+    TokenConfig,
+    default_config,
+)
+from repro.core import BreakEvenAnalyzer, EnergyLedger, MapgController, TokenArbiter
+from repro.errors import (
+    CircuitModelError,
+    ConfigError,
+    PredictionError,
+    ReproError,
+    SimulationError,
+    TraceError,
+)
+from repro.power import CorePowerModel, GatingCircuit, SleepTransistorNetwork, get_technology
+from repro.sim import (
+    ComparisonResult,
+    MulticoreResult,
+    SimulationResult,
+    Simulator,
+    run_multicore,
+    run_policy_comparison,
+    run_workload,
+    static_offchip_latency_cycles,
+)
+from repro.sim.runner import with_policy
+from repro.version import __version__
+from repro.workloads import generate_trace, get_profile, profile_names
+
+__all__ = [
+    "CacheConfig",
+    "CoreConfig",
+    "DramConfig",
+    "GatingConfig",
+    "PrefetcherConfig",
+    "SystemConfig",
+    "TokenConfig",
+    "default_config",
+    "BreakEvenAnalyzer",
+    "EnergyLedger",
+    "MapgController",
+    "TokenArbiter",
+    "CircuitModelError",
+    "ConfigError",
+    "PredictionError",
+    "ReproError",
+    "SimulationError",
+    "TraceError",
+    "CorePowerModel",
+    "GatingCircuit",
+    "SleepTransistorNetwork",
+    "get_technology",
+    "ComparisonResult",
+    "MulticoreResult",
+    "SimulationResult",
+    "Simulator",
+    "run_multicore",
+    "run_policy_comparison",
+    "run_workload",
+    "static_offchip_latency_cycles",
+    "with_policy",
+    "generate_trace",
+    "get_profile",
+    "profile_names",
+    "__version__",
+]

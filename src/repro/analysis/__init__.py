@@ -1,0 +1,18 @@
+"""Analysis layer: aggregation and report formatting for the evaluation."""
+
+from repro.analysis.energy import (
+    mean_energy_saving,
+    mean_penalty,
+    summarize_comparisons,
+)
+from repro.analysis.report import ExperimentReport
+from repro.analysis.tables import format_fraction_pct, format_table
+
+__all__ = [
+    "mean_energy_saving",
+    "mean_penalty",
+    "summarize_comparisons",
+    "ExperimentReport",
+    "format_fraction_pct",
+    "format_table",
+]

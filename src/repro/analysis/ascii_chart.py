@@ -1,0 +1,89 @@
+"""Terminal charts: bar charts and sparklines with no plotting dependency.
+
+The examples and reports render small visualizations directly in the
+console; these helpers keep that rendering uniform and testable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float],
+              width: int = 48, unit: str = "",
+              title: Optional[str] = None) -> str:
+    """Horizontal bar chart; bars scale to the largest absolute value.
+
+    Negative values draw left of a zero axis so gain/loss comparisons read
+    naturally.
+    """
+    if len(labels) != len(values):
+        raise ValueError(f"{len(labels)} labels but {len(values)} values")
+    if not labels:
+        raise ValueError("bar chart needs at least one row")
+    if width < 4:
+        raise ValueError("width must be >= 4")
+
+    label_width = max(len(str(label)) for label in labels)
+    scale = max(abs(v) for v in values) or 1.0
+    has_negative = any(v < 0 for v in values)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        magnitude = int(round(abs(value) / scale * (width // (2 if has_negative else 1))))
+        if has_negative:
+            half = width // 2
+            if value < 0:
+                bar = " " * (half - magnitude) + "#" * magnitude + "|"
+            else:
+                bar = " " * half + "|" + "#" * magnitude
+        else:
+            bar = "#" * magnitude
+        lines.append(f"{str(label):<{label_width}}  {bar.ljust(width)}  "
+                     f"{value:g}{unit}")
+    return "\n".join(line.rstrip() for line in lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line trend using block characters; empty input -> empty string."""
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    span = high - low
+    if span == 0:
+        return _SPARK_LEVELS[0] * len(values)
+    chars = []
+    for value in values:
+        level = int((value - low) / span * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[level])
+    return "".join(chars)
+
+
+def timeline_row(segments: Sequence["tuple[str, int]"], width: int = 72,
+                 glyphs: Optional[dict] = None) -> str:
+    """Render (state, cycles) segments as one proportional text row.
+
+    ``glyphs`` maps state names to single characters; unmapped states use
+    their first letter.  Every segment gets at least one character so short
+    events (drain, wake) remain visible.
+    """
+    if not segments:
+        return ""
+    if any(cycles < 0 for __, cycles in segments):
+        raise ValueError("segment lengths must be >= 0")
+    total = sum(cycles for __, cycles in segments)
+    if total == 0:
+        return ""
+    glyphs = glyphs or {}
+    cells: List[str] = []
+    for state, cycles in segments:
+        if cycles == 0:
+            continue
+        glyph = glyphs.get(state, state[:1] or "?")
+        span = max(1, int(round(cycles / total * width)))
+        cells.append(glyph * span)
+    return "".join(cells)

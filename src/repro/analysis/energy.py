@@ -1,0 +1,52 @@
+"""Cross-run aggregation: the numbers the summary rows (T3) report."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.errors import SimulationError
+from repro.sim.results import ComparisonResult, SimulationResult
+from repro.stats.counters import geometric_mean
+
+
+def summarize_comparisons(
+        matrix: Dict[str, Dict[str, SimulationResult]],
+        baseline_policy: str = "never") -> Dict[str, List[ComparisonResult]]:
+    """Turn a results[workload][policy] matrix into per-policy comparisons.
+
+    Returns comparisons[policy] = list over workloads, each against the
+    workload's ``baseline_policy`` run.  The baseline policy itself is
+    excluded from the output (its saving is identically zero).
+    """
+    comparisons: Dict[str, List[ComparisonResult]] = {}
+    for workload, per_policy in matrix.items():
+        if baseline_policy not in per_policy:
+            raise SimulationError(
+                f"workload {workload!r} lacks a {baseline_policy!r} baseline run")
+        baseline = per_policy[baseline_policy]
+        for policy, result in per_policy.items():
+            if policy == baseline_policy:
+                continue
+            comparisons.setdefault(policy, []).append(result.compare(baseline))
+    return comparisons
+
+
+def mean_energy_saving(comparisons: Sequence[ComparisonResult]) -> float:
+    """Arithmetic mean of fractional energy savings across workloads."""
+    if not comparisons:
+        raise SimulationError("no comparisons to average")
+    return sum(c.energy_saving for c in comparisons) / len(comparisons)
+
+
+def mean_penalty(comparisons: Sequence[ComparisonResult]) -> float:
+    """Arithmetic mean of fractional performance penalties across workloads."""
+    if not comparisons:
+        raise SimulationError("no comparisons to average")
+    return sum(c.performance_penalty for c in comparisons) / len(comparisons)
+
+
+def geomean_edp_ratio(comparisons: Sequence[ComparisonResult]) -> float:
+    """Geometric mean of energy-delay-product ratios (< 1 = improvement)."""
+    if not comparisons:
+        raise SimulationError("no comparisons to average")
+    return geometric_mean({c.workload: c.edp_ratio for c in comparisons})

@@ -1,0 +1,106 @@
+"""Machine-readable exporters for results and reports.
+
+The console tables are for humans; downstream analysis (plotting scripts,
+regression dashboards) wants CSV and JSON.  These functions serialize the
+same objects the benchmarks print, so both views always agree.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.analysis.report import ExperimentReport
+from repro.errors import ReproError
+from repro.sim.results import SimulationResult
+
+PathLike = Union[str, Path]
+
+
+def report_to_csv(report: ExperimentReport, path: PathLike) -> int:
+    """Write a report's rows as CSV; returns the row count (excl. header)."""
+    path = Path(path)
+    with open(path, "w", encoding="utf-8", newline="") as stream:
+        writer = csv.writer(stream)
+        writer.writerow(report.headers)
+        for row in report.rows:
+            writer.writerow([str(cell) for cell in row])
+    return len(report.rows)
+
+
+def report_to_json(report: ExperimentReport, path: PathLike) -> None:
+    """Write a report (id, caption, rows, notes) as a JSON document."""
+    payload = {
+        "experiment_id": report.experiment_id,
+        "caption": report.caption,
+        "headers": list(report.headers),
+        "rows": [[str(cell) for cell in row] for row in report.rows],
+        "notes": list(report.notes),
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True),
+                          encoding="utf-8")
+
+
+def result_to_dict(result: SimulationResult) -> Dict:
+    """Flatten one simulation result to JSON-safe primitives."""
+    return {
+        "workload": result.workload,
+        "policy": result.policy,
+        "instructions": result.instructions,
+        "total_cycles": result.total_cycles,
+        "penalty_cycles": result.penalty_cycles,
+        "energy_j": result.energy_j,
+        "event_energy_j": result.event_energy_j,
+        "event_count": result.event_count,
+        "ipc": result.ipc,
+        "sleep_fraction": result.sleep_fraction,
+        "stall_fraction": result.stall_fraction,
+        "performance_penalty": result.performance_penalty,
+        "prediction_mae_cycles": result.prediction_mae_cycles,
+        "prediction_mape": result.prediction_mape,
+        "state_cycles": dict(result.state_cycles),
+        "state_energy_j": dict(result.state_energy_j),
+        "controller_counters": dict(result.controller_counters),
+        "memory_counters": dict(result.memory_counters),
+    }
+
+
+def matrix_to_csv(matrix: Dict[str, Dict[str, SimulationResult]],
+                  path: PathLike) -> int:
+    """Write a results[workload][policy] matrix as long-form CSV rows.
+
+    One row per (workload, policy) with the headline scalar metrics;
+    returns the row count.
+    """
+    if not matrix:
+        raise ReproError("cannot export an empty results matrix")
+    fields = ["workload", "policy", "instructions", "total_cycles",
+              "penalty_cycles", "energy_j", "ipc", "sleep_fraction",
+              "performance_penalty", "prediction_mae_cycles"]
+    rows = 0
+    path = Path(path)
+    with open(path, "w", encoding="utf-8", newline="") as stream:
+        writer = csv.DictWriter(stream, fieldnames=fields)
+        writer.writeheader()
+        for workload in sorted(matrix):
+            for policy in sorted(matrix[workload]):
+                record = result_to_dict(matrix[workload][policy])
+                writer.writerow({field: record[field] for field in fields})
+                rows += 1
+    return rows
+
+
+def results_to_json(matrix: Dict[str, Dict[str, SimulationResult]],
+                    path: PathLike) -> None:
+    """Write the full nested matrix, all counters included, as JSON."""
+    if not matrix:
+        raise ReproError("cannot export an empty results matrix")
+    payload = {
+        workload: {policy: result_to_dict(result)
+                   for policy, result in per_policy.items()}
+        for workload, per_policy in matrix.items()
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True),
+                          encoding="utf-8")

@@ -1,0 +1,43 @@
+"""Experiment report container.
+
+Each benchmark builds one :class:`ExperimentReport` — the experiment id
+from DESIGN.md, a caption, the table/series rows, and free-form notes
+recording the shape claims checked — and prints its rendering.  Keeping the
+data separate from the rendering lets EXPERIMENTS.md and tests consume the
+same rows the console shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.analysis.tables import format_table
+
+
+@dataclass
+class ExperimentReport:
+    """One table's or figure's worth of reproduced data."""
+
+    experiment_id: str       # e.g. "F2", "T3" — ids defined in DESIGN.md
+    caption: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        self.rows.append(cells)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """The full report block as printed by the benchmark harness."""
+        lines = [f"=== [{self.experiment_id}] {self.caption} ==="]
+        lines.append(format_table(self.headers, self.rows))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

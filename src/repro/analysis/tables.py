@@ -1,0 +1,69 @@
+"""Plain-text table rendering.
+
+Every benchmark prints its table/figure data through these helpers so the
+output format is uniform: fixed-width columns, right-aligned numbers,
+left-aligned labels — the same rows a paper table would carry.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def format_fraction_pct(fraction: float, precision: int = 1) -> str:
+    """``0.1234`` -> ``'12.3 %'`` (fractions, not percents, are the input)."""
+    return f"{fraction * 100.0:.{precision}f} %"
+
+
+def _is_number_like(text: str) -> bool:
+    stripped = text.replace("%", "").replace(",", "").strip()
+    if not stripped:
+        return False
+    try:
+        float(stripped)
+    except ValueError:
+        return False
+    return True
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned ASCII table.
+
+    Cells are str()-ified; numeric-looking columns right-align.  Returns the
+    table as one string (callers print it), so tests can assert on content.
+    """
+    text_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    columns = len(headers)
+    for index, row in enumerate(text_rows):
+        if len(row) != columns:
+            raise ValueError(
+                f"row {index} has {len(row)} cells, expected {columns}")
+
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+
+    # A column right-aligns if every body cell in it looks numeric.
+    right_align = [
+        all(_is_number_like(row[column]) for row in text_rows) and bool(text_rows)
+        for column in range(columns)
+    ]
+
+    def render_row(cells: Sequence[str]) -> str:
+        parts = []
+        for column, cell in enumerate(cells):
+            if right_align[column]:
+                parts.append(cell.rjust(widths[column]))
+            else:
+                parts.append(cell.ljust(widths[column]))
+        return "  ".join(parts).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(headers))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in text_rows)
+    return "\n".join(lines)

@@ -1,0 +1,102 @@
+"""Power-gating state machine.
+
+The gated domain moves through a fixed cycle of states; illegal transitions
+(e.g. SLEEP directly to ACTIVE, skipping the rail recharge) are hardware
+impossibilities, so the state machine rejects them — any such transition in
+a simulation is a controller bug and must fail loudly rather than skew the
+energy ledger.
+
+    ACTIVE ──► STALL ──► DRAIN ──► SLEEP ──► WAKE ──► STALL/ACTIVE
+       ▲          │         │                  │
+       └──────────┘         └──► STALL (abort: data returned during drain)
+
+``TOKEN_WAIT`` (TAP multi-core) interposes between SLEEP and WAKE when the
+wake-token arbiter defers the rail recharge.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet
+
+from repro.errors import SimulationError
+from repro.power.model import PowerState
+from repro.stats import IntervalAccumulator
+
+
+class PgState(enum.Enum):
+    """Controller-visible states of one gated domain."""
+
+    ACTIVE = "active"
+    STALL = "stall"
+    DRAIN = "drain"
+    SLEEP = "sleep"
+    SLEEP_RETENTION = "sleep_retention"
+    TOKEN_WAIT = "token_wait"
+    WAKE = "wake"
+
+
+_LEGAL_TRANSITIONS: Dict[PgState, FrozenSet[PgState]] = {
+    PgState.ACTIVE: frozenset({PgState.STALL, PgState.DRAIN}),
+    PgState.STALL: frozenset({PgState.ACTIVE, PgState.DRAIN}),
+    # STALL = abort (data returned during drain).
+    PgState.DRAIN: frozenset({PgState.SLEEP, PgState.SLEEP_RETENTION,
+                              PgState.STALL}),
+    PgState.SLEEP: frozenset({PgState.WAKE, PgState.TOKEN_WAIT}),
+    PgState.SLEEP_RETENTION: frozenset({PgState.WAKE, PgState.TOKEN_WAIT}),
+    PgState.TOKEN_WAIT: frozenset({PgState.WAKE}),
+    PgState.WAKE: frozenset({PgState.ACTIVE, PgState.STALL}),
+}
+
+_POWER_STATE: Dict[PgState, PowerState] = {
+    PgState.ACTIVE: PowerState.ACTIVE,
+    PgState.STALL: PowerState.STALL,
+    PgState.DRAIN: PowerState.DRAIN,
+    PgState.SLEEP: PowerState.SLEEP,
+    PgState.SLEEP_RETENTION: PowerState.SLEEP_RETENTION,
+    PgState.TOKEN_WAIT: PowerState.TOKEN_WAIT,
+    PgState.WAKE: PowerState.WAKE,
+}
+
+
+def power_state_of(state: PgState) -> PowerState:
+    """Map a controller state to the power model's activity state."""
+    return _POWER_STATE[state]
+
+
+class PowerGateStateMachine:
+    """Transition-validated state tracker with a time-in-state ledger."""
+
+    def __init__(self, start_cycle: int = 0, keep_records: bool = False) -> None:
+        self._state = PgState.ACTIVE
+        self._ledger = IntervalAccumulator(
+            PgState.ACTIVE.value, start_cycle, keep_records=keep_records)
+
+    @property
+    def state(self) -> PgState:
+        return self._state
+
+    @property
+    def ledger(self) -> IntervalAccumulator:
+        return self._ledger
+
+    def can_transition(self, target: PgState) -> bool:
+        return target in _LEGAL_TRANSITIONS[self._state]
+
+    def transition(self, target: PgState, cycle: int) -> None:
+        """Move to ``target`` at ``cycle``; raises on illegal transitions."""
+        if target == self._state:
+            return
+        if not self.can_transition(target):
+            raise SimulationError(
+                f"illegal power-gate transition {self._state.value} -> {target.value}")
+        self._ledger.switch(target.value, cycle)
+        self._state = target
+
+    def finish(self, cycle: int) -> None:
+        """Close the ledger at the end of simulation."""
+        self._ledger.close(cycle)
+
+    def time_in(self, state: PgState) -> int:
+        """Total cycles accumulated in ``state`` so far."""
+        return self._ledger.total(state.value)

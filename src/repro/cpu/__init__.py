@@ -1,0 +1,15 @@
+"""CPU substrate: trace-driven core timing model and multi-core merging."""
+
+from repro.cpu.core import BusySegment, Core, Segment, StallSegment
+from repro.cpu.multicore import MultiCoreScheduler
+from repro.cpu.window import WindowedCore, make_core
+
+__all__ = [
+    "BusySegment",
+    "Core",
+    "Segment",
+    "StallSegment",
+    "MultiCoreScheduler",
+    "WindowedCore",
+    "make_core",
+]

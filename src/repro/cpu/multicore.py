@@ -1,0 +1,78 @@
+"""Multi-core segment interleaving.
+
+Cores in a multiprogrammed mix share only the DRAM (private L1/L2 per
+core), so the interaction between them is bank contention — and, once
+power gating enters, the *shared power grid*, which is what the TAP token
+arbiter protects (F7).
+
+The scheduler merges per-core segment streams in global-time order: at each
+step it advances the core whose local clock is furthest behind, which is
+exactly the discrete-event merge that keeps DRAM bank timestamps coherent
+across cores.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, Iterator, List, Sequence, Tuple
+
+from repro.cpu.core import Core, Segment
+from repro.errors import SimulationError
+from repro.trace.format import TraceOp
+
+
+class MultiCoreScheduler:
+    """Merges the segment streams of several cores in global-time order."""
+
+    def __init__(self, cores: Sequence[Core]) -> None:
+        if not cores:
+            raise SimulationError("need at least one core")
+        self._cores = list(cores)
+
+    def run(self, traces: Sequence[Sequence[TraceOp]],
+            on_segment: Callable[[int, Segment], int]) -> Dict[int, int]:
+        """Drive all cores to completion.
+
+        ``on_segment(core_index, segment)`` is invoked for every segment in
+        global-time order and must return the number of *extra* cycles the
+        power-management layer added to that core (wake penalties, token
+        waits); the scheduler folds them into the core's clock so later
+        scheduling decisions see the slowdown.
+
+        Returns the final per-core completion cycle, penalties included.
+        """
+        if len(traces) != len(self._cores):
+            raise SimulationError(
+                f"{len(self._cores)} cores but {len(traces)} traces")
+        iterators: List[Iterator[Segment]] = [
+            core.segments(trace) for core, trace in zip(self._cores, traces)
+        ]
+        # Per-core adjusted clocks (core-local time + accumulated penalties).
+        clocks = [0] * len(self._cores)
+        penalties = [0] * len(self._cores)
+        heap: List[Tuple[int, int]] = [(0, idx) for idx in range(len(self._cores))]
+        heapq.heapify(heap)
+        finished = [False] * len(self._cores)
+
+        while heap:
+            __, index = heapq.heappop(heap)
+            if finished[index]:
+                continue
+            try:
+                segment = next(iterators[index])
+            except StopIteration:
+                finished[index] = True
+                continue
+            extra = on_segment(index, segment)
+            if extra < 0:
+                raise SimulationError(
+                    f"on_segment returned negative extra cycles ({extra})")
+            penalties[index] += extra
+            clocks[index] += segment.cycles + extra
+            heapq.heappush(heap, (clocks[index], index))
+
+        return {index: clocks[index] for index in range(len(self._cores))}
+
+    @property
+    def cores(self) -> List[Core]:
+        return list(self._cores)

@@ -1,0 +1,34 @@
+"""Exception hierarchy for the MAPG reproduction library.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch one base class.  Sub-classes partition failures by the
+layer that detected them (configuration, trace handling, simulation,
+circuit modeling), which keeps error-handling code in applications precise
+without string matching.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is missing, malformed, or out of range."""
+
+
+class TraceError(ReproError):
+    """A trace record or trace file is malformed or internally inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state (a bug or invalid input)."""
+
+
+class CircuitModelError(ReproError):
+    """The power-gating circuit model was given infeasible parameters."""
+
+
+class PredictionError(ReproError):
+    """A latency predictor was used incorrectly (e.g. update before observe)."""

@@ -1,0 +1,133 @@
+"""Deterministic discrete-event simulation kernel.
+
+A tiny event queue built on ``heapq`` with a monotonically-increasing
+sequence number as tie-breaker, so that events scheduled for the same cycle
+fire in the order they were scheduled — this keeps simulations bit-exact
+across runs and Python versions.
+
+The MAPG simulator is mostly interval-driven (see ``repro.sim``), but the
+kernel is used wherever ordered future actions matter: staggered sleep-
+transistor wakeup, token grants, DRAM refresh, and the multi-core scheduler.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+EventCallback = Callable[..., None]
+
+
+@dataclass(frozen=True)
+class Event:
+    """An immutable scheduled action."""
+
+    time: int
+    seq: int
+    callback: EventCallback
+    args: Tuple[Any, ...] = ()
+    cancelled: bool = False
+
+
+class EventQueue:
+    """Priority queue of events keyed by (time, insertion order)."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, "_Entry"]] = []
+        self._seq = itertools.count()
+        self._now = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulation time (cycles)."""
+        return self._now
+
+    def __len__(self) -> int:
+        return sum(1 for __, __, entry in self._heap if not entry.cancelled)
+
+    def schedule(self, delay: int, callback: EventCallback, *args: Any) -> "_Entry":
+        """Schedule ``callback(*args)`` to run ``delay`` cycles from now.
+
+        Returns a handle whose :meth:`_Entry.cancel` removes the event.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
+        entry = _Entry(time=self._now + delay, callback=callback, args=args)
+        heapq.heappush(self._heap, (entry.time, next(self._seq), entry))
+        return entry
+
+    def schedule_at(self, time: int, callback: EventCallback, *args: Any) -> "_Entry":
+        """Schedule ``callback(*args)`` at absolute cycle ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at cycle {time}, already at cycle {self._now}")
+        entry = _Entry(time=time, callback=callback, args=args)
+        heapq.heappush(self._heap, (entry.time, next(self._seq), entry))
+        return entry
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the next pending event, or None if the queue is empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def step(self) -> bool:
+        """Run the next pending event.  Returns False if none remain."""
+        self._drop_cancelled()
+        if not self._heap:
+            return False
+        time, __, entry = heapq.heappop(self._heap)
+        self._now = time
+        entry.callback(*entry.args)
+        return True
+
+    def run_until(self, time: int) -> None:
+        """Run all events scheduled strictly before or at cycle ``time``."""
+        while True:
+            next_time = self.peek_time()
+            if next_time is None or next_time > time:
+                break
+            self.step()
+        self._now = max(self._now, time)
+
+    def run(self, max_events: int = 10_000_000) -> int:
+        """Drain the queue; returns the number of events executed.
+
+        ``max_events`` is a runaway guard: exceeding it raises, because a
+        self-rescheduling event loop is always a model bug here.
+        """
+        executed = 0
+        while self.step():
+            executed += 1
+            if executed > max_events:
+                raise SimulationError(f"event loop exceeded {max_events} events")
+        return executed
+
+    def advance(self, delay: int) -> None:
+        """Advance the clock by ``delay`` cycles, firing due events in order."""
+        if delay < 0:
+            raise SimulationError(f"cannot advance time backwards (delay={delay})")
+        self.run_until(self._now + delay)
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+
+
+@dataclass
+class _Entry:
+    """Mutable heap entry; mutability is needed only for cancellation."""
+
+    time: int
+    callback: EventCallback
+    args: Tuple[Any, ...] = field(default_factory=tuple)
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        """Mark this event so the queue skips it; idempotent."""
+        self.cancelled = True

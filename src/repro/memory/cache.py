@@ -1,0 +1,213 @@
+"""Set-associative cache with LRU, random, and tree-PLRU replacement.
+
+The cache tracks tag state only (no data payloads — the simulator never
+needs values).  Stores are write-back / write-allocate: a store hit marks
+the line dirty, and evicting a dirty line reports a write-back so the
+hierarchy can charge DRAM write traffic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.config import CacheConfig
+from repro.errors import SimulationError
+from repro.stats import CounterSet
+
+
+@dataclass(frozen=True)
+class CacheAccessResult:
+    """Outcome of one cache lookup.
+
+    ``writeback_address`` is the byte address of an evicted dirty line (or
+    None); it is only ever set on misses that allocated over a dirty victim.
+    """
+
+    hit: bool
+    writeback_address: Optional[int] = None
+
+
+class _Line:
+    __slots__ = ("tag", "valid", "dirty")
+
+    def __init__(self) -> None:
+        self.tag = -1
+        self.valid = False
+        self.dirty = False
+
+
+class Cache:
+    """One level of a write-back, write-allocate set-associative cache."""
+
+    def __init__(self, config: CacheConfig, seed: int = 0) -> None:
+        self.config = config
+        self._num_sets = config.num_sets
+        self._ways = config.associativity
+        self._offset_bits = config.line_bytes.bit_length() - 1
+        self._index_mask = self._num_sets - 1
+        self._sets: List[List[_Line]] = [
+            [_Line() for __ in range(self._ways)] for __ in range(self._num_sets)
+        ]
+        # LRU: per-set list of way indices, most-recent last.
+        self._lru: List[List[int]] = [list(range(self._ways)) for __ in range(self._num_sets)]
+        # Tree-PLRU: per-set bit array over a complete binary tree (ways must
+        # be a power of two for PLRU; validated lazily on first use).
+        self._plru: List[List[int]] = [[0] * max(1, self._ways - 1) for __ in range(self._num_sets)]
+        self._rng = random.Random(seed)
+        self.counters = CounterSet()
+
+    # ---- address mapping ---------------------------------------------------
+
+    def line_address(self, address: int) -> int:
+        """Byte address of the start of the line containing ``address``."""
+        return (address >> self._offset_bits) << self._offset_bits
+
+    def _index_and_tag(self, address: int) -> "tuple[int, int]":
+        block = address >> self._offset_bits
+        return block & self._index_mask, block >> (self._index_mask.bit_length())
+
+    # ---- main operation ----------------------------------------------------
+
+    def access(self, address: int, is_write: bool = False) -> CacheAccessResult:
+        """Look up ``address``; on a miss, allocate the line (fill assumed).
+
+        The caller is responsible for charging the miss latency; this method
+        only updates tag/replacement state and returns hit/writeback facts.
+        """
+        index, tag = self._index_and_tag(address)
+        lines = self._sets[index]
+        self.counters.add("accesses")
+        if is_write:
+            self.counters.add("writes")
+
+        for way, line in enumerate(lines):
+            if line.valid and line.tag == tag:
+                self.counters.add("hits")
+                if is_write:
+                    line.dirty = True
+                self._touch(index, way)
+                return CacheAccessResult(hit=True)
+
+        self.counters.add("misses")
+        way = self._choose_victim(index)
+        victim = lines[way]
+        writeback: Optional[int] = None
+        if victim.valid and victim.dirty:
+            self.counters.add("writebacks")
+            victim_block = (victim.tag << self._index_mask.bit_length()) | index
+            writeback = victim_block << self._offset_bits
+        victim.tag = tag
+        victim.valid = True
+        victim.dirty = is_write
+        self._touch(index, way)
+        return CacheAccessResult(hit=False, writeback_address=writeback)
+
+    def probe(self, address: int) -> bool:
+        """Non-destructive lookup: True if the line is resident."""
+        index, tag = self._index_and_tag(address)
+        return any(line.valid and line.tag == tag for line in self._sets[index])
+
+    def invalidate(self, address: int) -> bool:
+        """Drop the line containing ``address`` if resident; True if dropped.
+
+        Dirty data is discarded (used by failure-injection tests)."""
+        index, tag = self._index_and_tag(address)
+        for line in self._sets[index]:
+            if line.valid and line.tag == tag:
+                line.valid = False
+                line.dirty = False
+                return True
+        return False
+
+    def flush(self) -> List[int]:
+        """Invalidate everything; returns addresses of dirty lines dropped."""
+        dirty: List[int] = []
+        for index, lines in enumerate(self._sets):
+            for line in lines:
+                if line.valid and line.dirty:
+                    block = (line.tag << self._index_mask.bit_length()) | index
+                    dirty.append(block << self._offset_bits)
+                line.valid = False
+                line.dirty = False
+        return dirty
+
+    # ---- replacement -------------------------------------------------------
+
+    def _touch(self, index: int, way: int) -> None:
+        policy = self.config.replacement
+        if policy == "lru":
+            order = self._lru[index]
+            order.remove(way)
+            order.append(way)
+        elif policy == "plru":
+            self._plru_touch(index, way)
+        # random: stateless
+
+    def _choose_victim(self, index: int) -> int:
+        # Prefer an invalid way regardless of policy.
+        for way, line in enumerate(self._sets[index]):
+            if not line.valid:
+                return way
+        policy = self.config.replacement
+        if policy == "lru":
+            return self._lru[index][0]
+        if policy == "random":
+            return self._rng.randrange(self._ways)
+        if policy == "plru":
+            return self._plru_victim(index)
+        raise SimulationError(f"unknown replacement policy {policy!r}")
+
+    def _plru_check(self) -> None:
+        if self._ways & (self._ways - 1):
+            raise SimulationError(
+                f"tree-PLRU requires power-of-two associativity, got {self._ways}")
+
+    def _plru_touch(self, index: int, way: int) -> None:
+        self._plru_check()
+        if self._ways == 1:
+            return
+        bits = self._plru[index]
+        node = 0
+        span = self._ways
+        low = 0
+        while span > 1:
+            half = span // 2
+            if way < low + half:
+                bits[node] = 1  # point away: right subtree is older
+                node = 2 * node + 1
+            else:
+                bits[node] = 0
+                node = 2 * node + 2
+                low += half
+            span = half
+
+    def _plru_victim(self, index: int) -> int:
+        self._plru_check()
+        if self._ways == 1:
+            return 0
+        bits = self._plru[index]
+        node = 0
+        span = self._ways
+        low = 0
+        while span > 1:
+            half = span // 2
+            if bits[node]:
+                node = 2 * node + 2  # bit points at the older (right) side
+                low += half
+            else:
+                node = 2 * node + 1
+            span = half
+        return low
+
+    # ---- statistics ----------------------------------------------------------
+
+    @property
+    def hit_rate(self) -> float:
+        return self.counters.ratio("hits", "accesses")
+
+    def __repr__(self) -> str:
+        cfg = self.config
+        return (f"Cache({cfg.name}, {cfg.size_bytes // 1024} KiB, "
+                f"{cfg.associativity}-way, {cfg.replacement})")

@@ -1,0 +1,203 @@
+"""Behavioural DRAM model with banks, row buffers, and FIFO bank queueing.
+
+The model answers one question per request: *how many nanoseconds does this
+access take, arriving at absolute time t?*  That latency is what MAPG gates
+against, so its composition matters:
+
+``latency = controller overhead + queue wait + row-buffer latency
+            + queue service + bus transfer (+ refresh collision)``
+
+Row-buffer latency follows the classic three-way split:
+
+* **row hit** — the open row matches: ``tCAS``
+* **row closed** — no open row (closed-page policy, or first touch):
+  ``tRCD + tCAS``
+* **row conflict** — a different row is open: ``tRP + tRCD + tCAS``
+  (precharge respects the ``tRAS`` minimum since activation)
+
+Queueing is per-bank FIFO: each bank records when it becomes free; requests
+arriving earlier wait.  This first-order model reproduces the property MAPG
+depends on — off-chip latency is *mostly* deterministic with a workload-
+dependent spread from row state and bank contention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.config import DramConfig
+from repro.stats import CounterSet, Histogram
+
+ROW_HIT = "row_hit"
+ROW_CLOSED = "row_closed"
+ROW_CONFLICT = "row_conflict"
+WRITE_BUFFERED = "write_buffered"
+
+
+@dataclass(frozen=True)
+class DramAccessResult:
+    """Latency breakdown of one DRAM access (all times in nanoseconds)."""
+
+    latency_ns: float
+    kind: str  # ROW_HIT | ROW_CLOSED | ROW_CONFLICT
+    bank: int
+    queue_wait_ns: float
+    refresh_wait_ns: float
+
+
+class _Bank:
+    __slots__ = ("open_row", "busy_until_ns", "activated_at_ns",
+                 "write_debt_ns")
+
+    def __init__(self) -> None:
+        self.open_row = -1  # -1 = precharged / no open row
+        self.busy_until_ns = 0.0
+        self.activated_at_ns = -1e18
+        # Buffered write work not yet performed (read-priority draining).
+        self.write_debt_ns = 0.0
+
+
+class Dram:
+    """All channels/ranks/banks of the off-chip memory."""
+
+    def __init__(self, config: DramConfig) -> None:
+        self.config = config
+        self._banks: List[_Bank] = [_Bank() for __ in range(config.total_banks)]
+        self._row_bits = config.row_bytes.bit_length() - 1
+        self.counters = CounterSet()
+        self.latency_histogram = Histogram.exponential(
+            low=10.0, factor=1.3, buckets=24, keep_samples=False)
+
+    # ---- address mapping ---------------------------------------------------
+
+    def map_address(self, address: int) -> Tuple[int, int]:
+        """Map a byte address to (bank index, row number).
+
+        Row-interleaved mapping: consecutive rows rotate across banks, which
+        gives synthetic workloads natural bank-level parallelism.
+        """
+        row_global = address >> self._row_bits
+        bank = row_global % self.config.total_banks
+        row = row_global // self.config.total_banks
+        return bank, row
+
+    # ---- access ------------------------------------------------------------
+
+    def access(self, address: int, now_ns: float, is_write: bool = False) -> DramAccessResult:
+        """Issue one access at absolute time ``now_ns``; returns its latency.
+
+        Reads and writes share timing in this model; writes are counted
+        separately for traffic statistics.
+        """
+        cfg = self.config
+        bank_index, row = self.map_address(address)
+        bank = self._banks[bank_index]
+
+        arrival_ns = now_ns + cfg.controller_overhead_ns
+        refresh_wait = self._refresh_wait(arrival_ns)
+        arrival_ns += refresh_wait
+
+        # Buffered writes drain during the idle gap before this request.
+        if bank.write_debt_ns > 0.0:
+            idle_gap = max(0.0, arrival_ns - bank.busy_until_ns)
+            drained = min(bank.write_debt_ns, idle_gap)
+            bank.write_debt_ns -= drained
+            bank.busy_until_ns += drained
+
+        if is_write and cfg.write_buffer_per_bank > 0:
+            return self._buffered_write(bank, bank_index, row, arrival_ns,
+                                        now_ns, refresh_wait)
+
+        queue_wait = max(0.0, bank.busy_until_ns - arrival_ns)
+        start_ns = arrival_ns + queue_wait
+
+        if bank.open_row == row:
+            kind = ROW_HIT
+            array_ns = cfg.t_cas_ns
+        elif bank.open_row == -1:
+            kind = ROW_CLOSED
+            array_ns = cfg.t_rcd_ns + cfg.t_cas_ns
+            bank.activated_at_ns = start_ns
+        else:
+            kind = ROW_CONFLICT
+            # Precharge may not begin before tRAS has elapsed since activate.
+            ras_wait = max(0.0, (bank.activated_at_ns + cfg.t_ras_ns) - start_ns)
+            array_ns = ras_wait + cfg.t_rp_ns + cfg.t_rcd_ns + cfg.t_cas_ns
+            bank.activated_at_ns = start_ns + ras_wait + cfg.t_rp_ns
+
+        done_ns = start_ns + array_ns + cfg.queue_service_ns
+        bank.busy_until_ns = done_ns
+        if cfg.row_policy == "open":
+            bank.open_row = row
+        else:
+            bank.open_row = -1
+            bank.busy_until_ns += cfg.t_rp_ns  # auto-precharge after access
+
+        total_ns = (done_ns + cfg.bus_transfer_ns) - now_ns
+
+        self.counters.add("accesses")
+        self.counters.add(kind)
+        if is_write:
+            self.counters.add("writes")
+        self.latency_histogram.observe(total_ns)
+        return DramAccessResult(
+            latency_ns=total_ns,
+            kind=kind,
+            bank=bank_index,
+            queue_wait_ns=queue_wait,
+            refresh_wait_ns=refresh_wait,
+        )
+
+    def _buffered_write(self, bank: "_Bank", bank_index: int, row: int,
+                        arrival_ns: float, now_ns: float,
+                        refresh_wait: float) -> DramAccessResult:
+        """Absorb a write into the bank's buffer (read-priority draining).
+
+        The write completes from the requester's point of view as soon as
+        the buffer accepts it; the bank performs the work later, in idle
+        gaps.  When the buffer overflows, the accumulated debt drains as a
+        burst that occupies the bank immediately — the bandwidth-saturated
+        case where writes do slow reads down.
+        """
+        cfg = self.config
+        write_service_ns = cfg.t_cas_ns + cfg.queue_service_ns
+        bank.write_debt_ns += write_service_ns
+        self.counters.add("accesses")
+        self.counters.add("writes")
+        self.counters.add("buffered_writes")
+        capacity_ns = cfg.write_buffer_per_bank * write_service_ns
+        if bank.write_debt_ns > capacity_ns:
+            start_ns = max(arrival_ns, bank.busy_until_ns)
+            bank.busy_until_ns = start_ns + bank.write_debt_ns
+            bank.write_debt_ns = 0.0
+            self.counters.add("write_buffer_drains")
+        latency_ns = (arrival_ns - now_ns) + 1.0  # buffer accept
+        return DramAccessResult(
+            latency_ns=latency_ns, kind=WRITE_BUFFERED, bank=bank_index,
+            queue_wait_ns=0.0, refresh_wait_ns=refresh_wait)
+
+    def _refresh_wait(self, arrival_ns: float) -> float:
+        """Extra wait if the access lands inside an all-bank refresh window."""
+        cfg = self.config
+        if cfg.refresh_latency_ns <= 0.0:
+            return 0.0
+        phase = arrival_ns % cfg.refresh_interval_ns
+        if phase < cfg.refresh_latency_ns:
+            self.counters.add("refresh_collisions")
+            return cfg.refresh_latency_ns - phase
+        return 0.0
+
+    # ---- statistics ----------------------------------------------------------
+
+    @property
+    def row_hit_rate(self) -> float:
+        return self.counters.ratio(ROW_HIT, "accesses")
+
+    def reset_state(self) -> None:
+        """Precharge all banks and clear the timing state (not the counters)."""
+        for bank in self._banks:
+            bank.open_row = -1
+            bank.busy_until_ns = 0.0
+            bank.activated_at_ns = -1e18
+            bank.write_debt_ns = 0.0

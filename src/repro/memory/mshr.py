@@ -1,0 +1,104 @@
+"""Miss-status holding registers (MSHRs).
+
+MSHRs track in-flight misses so that (a) a second access to a line already
+being fetched *merges* into the outstanding miss instead of issuing a
+duplicate DRAM request, and (b) the number of simultaneously outstanding
+misses is bounded — when the file is full, a new miss must wait for the
+oldest entry to retire (structural hazard), which the core model charges as
+extra stall cycles.
+
+Entries are keyed by line address and expire at their fill cycle; callers
+drive expiry by passing the current cycle into every operation (the MSHR
+has no clock of its own).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class MshrEntry:
+    """One outstanding miss: the line and the cycle its fill completes."""
+
+    line_address: int
+    issue_cycle: int
+    fill_cycle: int
+
+    def remaining(self, cycle: int) -> int:
+        """Cycles until the fill returns, as seen at ``cycle`` (>= 0)."""
+        return max(0, self.fill_cycle - cycle)
+
+
+class Mshr:
+    """A bounded file of outstanding misses."""
+
+    def __init__(self, entries: int) -> None:
+        if entries < 1:
+            raise SimulationError(f"MSHR file needs >= 1 entry, got {entries}")
+        self._capacity = entries
+        self._entries: Dict[int, MshrEntry] = {}
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def _expire(self, cycle: int) -> None:
+        expired = [addr for addr, e in self._entries.items() if e.fill_cycle <= cycle]
+        for addr in expired:
+            del self._entries[addr]
+
+    def outstanding(self, cycle: int) -> int:
+        """Number of live entries at ``cycle``."""
+        self._expire(cycle)
+        return len(self._entries)
+
+    def lookup(self, line_address: int, cycle: int) -> Optional[MshrEntry]:
+        """The live entry covering ``line_address``, or None."""
+        self._expire(cycle)
+        entry = self._entries.get(line_address)
+        if entry is not None and entry.fill_cycle > cycle:
+            return entry
+        return None
+
+    def allocate(self, line_address: int, cycle: int, fill_cycle: int) -> MshrEntry:
+        """Record a new outstanding miss.
+
+        Raises if the line already has a live entry (callers must merge via
+        :meth:`lookup` first) or if the file is full (callers must first wait
+        via :meth:`wait_for_free_slot`).
+        """
+        self._expire(cycle)
+        if fill_cycle < cycle:
+            raise SimulationError(
+                f"fill cycle {fill_cycle} precedes allocation cycle {cycle}")
+        if line_address in self._entries:
+            raise SimulationError(
+                f"line {line_address:#x} already has an outstanding miss")
+        if len(self._entries) >= self._capacity:
+            raise SimulationError("MSHR file is full; wait_for_free_slot first")
+        entry = MshrEntry(line_address, cycle, fill_cycle)
+        self._entries[line_address] = entry
+        return entry
+
+    def wait_for_free_slot(self, cycle: int) -> int:
+        """Cycles to wait at ``cycle`` until a slot frees (0 if one is free)."""
+        self._expire(cycle)
+        if len(self._entries) < self._capacity:
+            return 0
+        earliest = min(entry.fill_cycle for entry in self._entries.values())
+        return earliest - cycle
+
+    def drain_cycle(self, cycle: int) -> int:
+        """Cycle at which all current entries have filled (>= ``cycle``).
+
+        The power-gating controller uses this: a core must not gate its
+        caches while fills are in flight.
+        """
+        self._expire(cycle)
+        if not self._entries:
+            return cycle
+        return max(entry.fill_cycle for entry in self._entries.values())

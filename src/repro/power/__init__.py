@@ -1,0 +1,17 @@
+"""Power substrate: technology nodes, core power model, PG circuit model."""
+
+from repro.power.gating import GatingCircuit, SleepTransistorNetwork
+from repro.power.model import CorePowerModel, PowerState
+from repro.power.technology import TECHNOLOGY_NODES, TechnologyNode, get_technology
+from repro.power.temperature import leakage_scale_factor
+
+__all__ = [
+    "GatingCircuit",
+    "SleepTransistorNetwork",
+    "CorePowerModel",
+    "PowerState",
+    "TECHNOLOGY_NODES",
+    "TechnologyNode",
+    "get_technology",
+    "leakage_scale_factor",
+]

@@ -1,0 +1,128 @@
+"""Memory-aware DVFS: the classic alternative to memory-access gating.
+
+When a program is memory-bound, lowering the core's frequency barely hurts
+wall-clock time (memory wall-clock is frequency-independent) while cutting
+dynamic power roughly as V^2 * f.  DVFS and MAPG attack *different* energy
+components — dynamic vs leakage — over the same memory-bound phases, so a
+DATE-style evaluation compares them head-to-head and combined (F17).
+
+This module evaluates DVFS *analytically on top of a simulated run*: the
+run's per-state cycle ledger says how much wall-clock was compute vs
+memory, and the transform below rescales each component.  That avoids
+re-simulating at every frequency while staying exact for the first-order
+model used:
+
+* compute time stretches by ``1/r`` (r = f/f0);
+* memory stall / sleep / wake wall-clock time is unchanged;
+* voltage tracks frequency linearly between Vmin and nominal:
+  ``V(r) = Vdd * (v_floor + (1 - v_floor) * r)``;
+* dynamic and clock power scale as ``(V/Vdd)^2 * r``;
+* leakage scales as ``(V/Vdd)`` (first-order DIBL-free approximation);
+* gating-event energies scale as ``(V/Vdd)^2`` (charge * voltage);
+* background (uncore) power is on its own rail: unscaled, billed over the
+  (longer) total time — the honest cost of slowing down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.power.model import CorePowerModel, PowerState
+from repro.sim.results import SimulationResult
+
+# States whose wall-clock duration is set by the memory system, not the core
+# clock: they neither stretch nor shrink under DVFS.
+_MEMORY_TIME_STATES = ("stall", "sleep", "sleep_retention", "wake",
+                       "token_wait", "drain")
+
+
+@dataclass(frozen=True)
+class DvfsPoint:
+    """Energy/time of one run re-evaluated at relative frequency ``r``."""
+
+    relative_frequency: float
+    relative_voltage: float
+    time_s: float
+    energy_j: float
+
+    def edp(self) -> float:
+        return self.energy_j * self.time_s
+
+
+class DvfsModel:
+    """Re-evaluates a simulated run at a different core frequency."""
+
+    def __init__(self, power_model: CorePowerModel,
+                 voltage_floor: float = 0.6) -> None:
+        if not 0.0 < voltage_floor <= 1.0:
+            raise ConfigError(
+                f"voltage_floor must be in (0, 1], got {voltage_floor}")
+        self.power_model = power_model
+        self.voltage_floor = voltage_floor
+
+    def relative_voltage(self, relative_frequency: float) -> float:
+        """V(r)/Vdd along the linear frequency-voltage curve."""
+        if not 0.0 < relative_frequency <= 1.0:
+            raise ConfigError(
+                f"relative frequency must be in (0, 1], got {relative_frequency}")
+        return self.voltage_floor + (1.0 - self.voltage_floor) * relative_frequency
+
+    def evaluate(self, result: SimulationResult,
+                 relative_frequency: float) -> DvfsPoint:
+        """Time and energy of ``result``'s run at frequency ``r * f0``.
+
+        ``result`` may come from any gating policy: its per-state ledger is
+        rescaled state by state, so "MAPG + DVFS" is just evaluating a MAPG
+        run at r < 1.
+        """
+        r = relative_frequency
+        v = self.relative_voltage(r)
+        f0 = self.power_model.circuit.frequency_hz
+        tech = self.power_model.tech
+        leak_scale = self.power_model.leakage_power_w / tech.core_leakage_power_w
+
+        total_time_s = 0.0
+        energy_j = 0.0
+        for state_name, cycles in result.state_cycles.items():
+            base_time = cycles / f0
+            if state_name in _MEMORY_TIME_STATES:
+                time_s = base_time  # wall clock fixed by the memory system
+            else:
+                time_s = base_time / r  # compute stretches
+            total_time_s += time_s
+            energy_j += self._state_power_w(state_name, r, v, leak_scale) * time_s
+
+        # Gating events: charge-dominated, scale as V^2.
+        energy_j += result.event_energy_j * v * v
+        # Uncore rail: unscaled power over the stretched runtime.
+        energy_j += self.power_model.background_power_w * total_time_s
+        return DvfsPoint(relative_frequency=r, relative_voltage=v,
+                         time_s=total_time_s, energy_j=energy_j)
+
+    def _state_power_w(self, state_name: str, r: float, v: float,
+                       leak_scale: float) -> float:
+        """Power of one activity state at the scaled operating point."""
+        tech = self.power_model.tech
+        leakage = tech.core_leakage_power_w * leak_scale * v
+        dynamic_scale = v * v * r
+        if state_name == "active":
+            return (tech.core_dynamic_power_w + tech.clock_tree_power_w) \
+                * dynamic_scale + leakage
+        if state_name in ("stall", "token_wait"):
+            return tech.clock_tree_power_w * 0.10 * dynamic_scale + leakage
+        if state_name == "drain":
+            return tech.clock_tree_power_w * dynamic_scale + leakage
+        if state_name == "wake":
+            return leakage
+        if state_name == "sleep":
+            return self.power_model.circuit.sleep_residual_power_w * v
+        if state_name == "sleep_retention":
+            return self.power_model.circuit.retention_sleep_power_w * v
+        raise ConfigError(f"unknown state {state_name!r} in DVFS evaluation")
+
+
+def sweep(model: DvfsModel, result: SimulationResult,
+          frequencies: "list[float]") -> "list[DvfsPoint]":
+    """Evaluate a run across a list of relative frequencies."""
+    return [model.evaluate(result, r) for r in frequencies]

@@ -1,0 +1,348 @@
+"""First-order sleep-transistor (header) network model.
+
+This module replaces the SPICE characterization a circuits paper would use
+(the substitution is recorded in DESIGN.md).  It derives, from a
+:class:`~repro.power.technology.TechnologyNode`:
+
+* **Switch sizing** — total header width from the active IR-drop budget:
+  the full-on network must carry the core's peak current with at most
+  ``max_ir_drop_fraction * Vdd`` across it.
+* **Wakeup latency** — the virtual rail carries ``domain_capacitance_f`` of
+  charge; grid-noise rules cap the recharge (rush) current, so wake time is
+  bounded below by ``C * Vdd / I_rush_max`` plus an RC settling tail.
+  Staggering the header into groups is how hardware enforces that cap; the
+  model exposes the required group count.
+* **Per-event overhead energy** — driving the header gate off+on
+  (``C_gate * Vdd^2``) plus recharging whatever rail charge leaked away
+  during the sleep.  Rail decay is exponential with time constant
+  ``tau = C * Vdd / I_leak``: short sleeps decay (and cost) little, which is
+  exactly why the break-even time exists.
+* **Break-even time (BET)** — the sleep duration at which leakage energy
+  saved equals overhead energy spent, solved by bisection on the decay
+  model.
+
+All durations are reported both in seconds and in core cycles at the
+frequency supplied to :func:`SleepTransistorNetwork.characterize`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import CircuitModelError
+from repro.power.technology import TechnologyNode
+from repro.units import seconds_to_cycles_ceil
+
+
+class SleepTransistorNetwork:
+    """Analytic model of a header-switch network for one gated core domain.
+
+    ``temperature_c`` scales the domain leakage (doubling every ~25 C),
+    which moves everything leakage-driven: the rail-decay time constant,
+    the recoverable energy, and therefore the break-even time.  A BET
+    characterized on hot silicon is dangerously optimistic on cool silicon —
+    passing the operating temperature here keeps the controller's decisions
+    honest across the thermal range (the F10 experiment).
+    """
+
+    # Settling multiplier: rail is "up" after this many RC time constants.
+    _SETTLE_TAUS = 3.0
+    # Retention mode: a clamp holds the virtual rail at this fraction of
+    # Vdd, preserving state while cutting leakage superlinearly (the
+    # quadratic DIBL-flavoured approximation below).  Waking from retention
+    # recharges only (1 - fraction) * Vdd of rail swing, so it is several
+    # times faster and cheaper than waking from a full collapse.
+    RETENTION_VDD_FRACTION = 0.45
+
+    def __init__(self, tech: TechnologyNode,
+                 temperature_c: float = None) -> None:
+        from repro.power.temperature import NOMINAL_TEMPERATURE_C, leakage_scale_factor
+        self.tech = tech
+        if temperature_c is None:
+            temperature_c = NOMINAL_TEMPERATURE_C
+        self.temperature_c = temperature_c
+        self._leakage_power_w = (
+            tech.core_leakage_power_w * leakage_scale_factor(temperature_c))
+
+    @property
+    def domain_leakage_power_w(self) -> float:
+        """Temperature-scaled leakage of the gated domain."""
+        return self._leakage_power_w
+
+    # ---- sizing --------------------------------------------------------------
+
+    @property
+    def switch_width_um(self) -> float:
+        """Total header gate width meeting the active IR-drop budget."""
+        tech = self.tech
+        drop_v = tech.max_ir_drop_fraction * tech.vdd_v
+        return tech.core_peak_current_a * tech.sleep_tx_resistance_ohm_um / drop_v
+
+    @property
+    def ron_total_ohm(self) -> float:
+        """On-resistance of the fully-enabled network."""
+        return self.tech.sleep_tx_resistance_ohm_um / self.switch_width_um
+
+    @property
+    def sleep_residual_power_w(self) -> float:
+        """Leakage through the OFF header network (not saved by gating)."""
+        return self.switch_width_um * self.tech.sleep_tx_leakage_w_per_um
+
+    @property
+    def switch_gate_capacitance_f(self) -> float:
+        return self.switch_width_um * self.tech.sleep_tx_gate_cap_f_per_um
+
+    @property
+    def switch_event_energy_j(self) -> float:
+        """Gate-drive energy for one full off+on header cycle."""
+        return self.switch_gate_capacitance_f * self.tech.vdd_v ** 2
+
+    # ---- rail decay ------------------------------------------------------------
+
+    @property
+    def decay_tau_s(self) -> float:
+        """Virtual-rail decay time constant under domain leakage."""
+        tech = self.tech
+        leak_current_a = self._leakage_power_w / tech.vdd_v
+        return tech.domain_capacitance_f * tech.vdd_v / leak_current_a
+
+    def rail_droop_v(self, sleep_s: float) -> float:
+        """Voltage lost from the virtual rail after ``sleep_s`` asleep."""
+        if sleep_s < 0.0:
+            raise CircuitModelError(f"sleep duration must be >= 0, got {sleep_s}")
+        return self.tech.vdd_v * (1.0 - math.exp(-sleep_s / self.decay_tau_s))
+
+    def rush_charge_energy_j(self, sleep_s: float) -> float:
+        """Supply energy to recharge the rail after ``sleep_s`` asleep."""
+        return self.tech.domain_capacitance_f * self.rail_droop_v(sleep_s) * self.tech.vdd_v
+
+    def overhead_energy_j(self, sleep_s: float) -> float:
+        """Total per-event energy overhead of gating for ``sleep_s``."""
+        residual = self.sleep_residual_power_w * sleep_s
+        return self.switch_event_energy_j + self.rush_charge_energy_j(sleep_s) + residual
+
+    def net_saving_j(self, sleep_s: float) -> float:
+        """Leakage energy saved minus overhead for one sleep of ``sleep_s``."""
+        return self._leakage_power_w * sleep_s - self.overhead_energy_j(sleep_s)
+
+    # ---- wakeup ---------------------------------------------------------------
+
+    def min_stagger_groups(self) -> int:
+        """Fewest header groups keeping worst-case rush under the ceiling.
+
+        Worst case: the rail is fully decayed and the first group turns on,
+        driving ``Vdd / (n * Ron_total)`` through it.
+        """
+        tech = self.tech
+        groups = tech.vdd_v / (tech.max_rush_current_a * self.ron_total_ohm)
+        return max(1, int(math.ceil(groups - 1e-9)))
+
+    def rush_peak_current_a(self, groups: int) -> float:
+        """Worst-case instantaneous rush current with ``groups`` stagger groups."""
+        if groups < 1:
+            raise CircuitModelError(f"stagger groups must be >= 1, got {groups}")
+        return self.tech.vdd_v / (groups * self.ron_total_ohm)
+
+    def wake_latency_s(self, groups: int = 0) -> float:
+        """Time to recharge and settle the rail from full decay.
+
+        The charge-delivery bound ``C*Vdd/I_max`` dominates; the RC settle of
+        the fully-on network adds a short tail.  ``groups=0`` uses the
+        minimum legal stagger.  More groups than the minimum slow the wake
+        proportionally (each group is narrower, so the current ceiling is
+        under-used) — this is the F9 trade-off curve.
+        """
+        tech = self.tech
+        min_groups = self.min_stagger_groups()
+        if groups == 0:
+            groups = min_groups
+        if groups < min_groups:
+            raise CircuitModelError(
+                f"{groups} stagger groups exceed the rush-current ceiling "
+                f"(need >= {min_groups})")
+        delivery_current = self.rush_peak_current_a(groups)
+        charge_time = tech.domain_capacitance_f * tech.vdd_v / delivery_current
+        settle_time = self._SETTLE_TAUS * self.ron_total_ohm * tech.domain_capacitance_f
+        return charge_time + settle_time
+
+    # ---- retention mode ---------------------------------------------------------
+
+    @property
+    def retention_voltage_v(self) -> float:
+        return self.tech.vdd_v * self.RETENTION_VDD_FRACTION
+
+    @property
+    def retention_leakage_w(self) -> float:
+        """Domain leakage with the rail clamped at the retention voltage.
+
+        Subthreshold leakage falls superlinearly with the rail voltage
+        (DIBL + stacking); a quadratic is the standard first-order shape.
+        """
+        return self._leakage_power_w * self.RETENTION_VDD_FRACTION ** 2
+
+    @property
+    def retention_sleep_power_w(self) -> float:
+        """Continuous draw while in retention: clamp current + header residual."""
+        return self.retention_leakage_w + self.sleep_residual_power_w
+
+    def retention_droop_v(self, sleep_s: float) -> float:
+        """Rail droop in retention: free decay, clamped at Vdd - Vret."""
+        ceiling = self.tech.vdd_v - self.retention_voltage_v
+        return min(self.rail_droop_v(sleep_s), ceiling)
+
+    def retention_rush_energy_j(self, sleep_s: float) -> float:
+        """Supply energy to recharge the (clamped) rail after retention."""
+        return (self.tech.domain_capacitance_f
+                * self.retention_droop_v(sleep_s) * self.tech.vdd_v)
+
+    def retention_overhead_energy_j(self, sleep_s: float) -> float:
+        """Per-event overhead of one retention sleep of ``sleep_s``."""
+        continuous = self.retention_sleep_power_w * sleep_s
+        return (self.switch_event_energy_j
+                + self.retention_rush_energy_j(sleep_s) + continuous)
+
+    def retention_net_saving_j(self, sleep_s: float) -> float:
+        """Leakage saved minus overhead for one retention sleep."""
+        return (self._leakage_power_w * sleep_s
+                - self.retention_overhead_energy_j(sleep_s))
+
+    def retention_wake_latency_s(self) -> float:
+        """Recharge (Vdd - Vret) of rail swing at the rush-current ceiling."""
+        tech = self.tech
+        swing = tech.vdd_v - self.retention_voltage_v
+        charge_time = tech.domain_capacitance_f * swing / tech.max_rush_current_a
+        settle_time = self._SETTLE_TAUS * self.ron_total_ohm * tech.domain_capacitance_f
+        return charge_time + settle_time
+
+    def retention_breakeven_time_s(self) -> float:
+        """Smallest retention sleep with non-negative net saving."""
+        saved_power = (self._leakage_power_w - self.retention_sleep_power_w)
+        if saved_power <= 0.0:
+            raise CircuitModelError(
+                "retention draw exceeds domain leakage; retention can never win")
+        low, high = 0.0, self.decay_tau_s
+        for __ in range(64):
+            if self.retention_net_saving_j(high) > 0.0:
+                break
+            high *= 2.0
+        else:
+            raise CircuitModelError("retention break-even failed to bracket a root")
+        for __ in range(80):
+            mid = 0.5 * (low + high)
+            if self.retention_net_saving_j(mid) > 0.0:
+                high = mid
+            else:
+                low = mid
+        return 0.5 * (low + high)
+
+    # ---- break-even -------------------------------------------------------------
+
+    def breakeven_time_s(self) -> float:
+        """Smallest sleep duration with non-negative net saving.
+
+        Solved by bisection on :meth:`net_saving_j`, which is monotonically
+        increasing past its single zero crossing (savings grow linearly,
+        overhead saturates).
+        """
+        tech = self.tech
+        effective_leak = self._leakage_power_w - self.sleep_residual_power_w
+        if effective_leak <= 0.0:
+            raise CircuitModelError(
+                "header leakage exceeds domain leakage; gating can never win")
+        low = 0.0
+        high = self.decay_tau_s
+        # Expand until the saving is positive.
+        for __ in range(64):
+            if self.net_saving_j(high) > 0.0:
+                break
+            high *= 2.0
+        else:
+            raise CircuitModelError("break-even search failed to bracket a root")
+        for __ in range(80):
+            mid = 0.5 * (low + high)
+            if self.net_saving_j(mid) > 0.0:
+                high = mid
+            else:
+                low = mid
+        return 0.5 * (low + high)
+
+    # ---- characterization --------------------------------------------------------
+
+    def characterize(self, frequency_hz: float, pipeline_depth: int = 12,
+                     stagger_groups: int = 0) -> "GatingCircuit":
+        """Produce the cycle-domain summary the MAPG controller consumes."""
+        if frequency_hz <= 0.0:
+            raise CircuitModelError(f"frequency must be > 0, got {frequency_hz}")
+        if stagger_groups == 0:
+            stagger_groups = self.min_stagger_groups()
+        wake_s = self.wake_latency_s(stagger_groups)
+        bet_s = self.breakeven_time_s()
+        retention_wake_s = self.retention_wake_latency_s()
+        retention_bet_s = self.retention_breakeven_time_s()
+        # Draining: retire in-flight work (pipeline depth) then isolate and
+        # drive the header off (2 cycles for the control handshake).
+        drain_cycles = pipeline_depth + 2
+        return GatingCircuit(
+            tech=self.tech,
+            network=self,
+            frequency_hz=frequency_hz,
+            switch_width_um=self.switch_width_um,
+            stagger_groups=stagger_groups,
+            drain_cycles=drain_cycles,
+            wake_latency_s=wake_s,
+            wake_cycles=seconds_to_cycles_ceil(wake_s, frequency_hz),
+            breakeven_s=bet_s,
+            breakeven_cycles=seconds_to_cycles_ceil(bet_s, frequency_hz),
+            switch_event_energy_j=self.switch_event_energy_j,
+            sleep_residual_power_w=self.sleep_residual_power_w,
+            decay_tau_s=self.decay_tau_s,
+            retention_wake_latency_s=retention_wake_s,
+            retention_wake_cycles=seconds_to_cycles_ceil(
+                retention_wake_s, frequency_hz),
+            retention_breakeven_s=retention_bet_s,
+            retention_breakeven_cycles=seconds_to_cycles_ceil(
+                retention_bet_s, frequency_hz),
+            retention_sleep_power_w=self.retention_sleep_power_w,
+        )
+
+
+@dataclass(frozen=True)
+class GatingCircuit:
+    """Cycle-domain characterization of one gated core domain.
+
+    This is the contract between the circuit model and the architecture
+    layer: everything MAPG's decision logic needs, with the analog detail
+    reachable through ``network`` for energy integration.
+    """
+
+    tech: TechnologyNode
+    network: SleepTransistorNetwork
+    frequency_hz: float
+    switch_width_um: float
+    stagger_groups: int
+    drain_cycles: int
+    wake_latency_s: float
+    wake_cycles: int
+    breakeven_s: float
+    breakeven_cycles: int
+    switch_event_energy_j: float
+    sleep_residual_power_w: float
+    decay_tau_s: float
+    # Retention (state-preserving, clamped-rail) mode characterization.
+    retention_wake_latency_s: float = 0.0
+    retention_wake_cycles: int = 0
+    retention_breakeven_s: float = 0.0
+    retention_breakeven_cycles: int = 0
+    retention_sleep_power_w: float = 0.0
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / self.frequency_hz
+
+    def overhead_energy_j(self, sleep_cycles: float) -> float:
+        """Per-event overhead for a full-gate sleep of ``sleep_cycles``."""
+        return self.network.overhead_energy_j(self.cycles_to_seconds(sleep_cycles))
+
+    def net_saving_j(self, sleep_cycles: float) -> float:
+        """Net energy won (or lost, if negative) by one gating event."""
+        return self.network.net_saving_j(self.cycles_to_seconds(sleep_cycles))

@@ -1,0 +1,116 @@
+"""Core-domain power model: power per activity state, energy per event.
+
+The simulator tiles time into activity states (see
+``repro.stats.intervals``); this module assigns each state a power draw and
+prices the per-event costs of power gating.  Accounting is split carefully
+to avoid double counting:
+
+* **Interval energy** = state power x state residency.  While ``SLEEP``,
+  the domain draws only the residual header leakage; the charge that leaks
+  *off the virtual rail* is not burned continuously — it is repaid from the
+  supply at wakeup.
+* **Event energy** = header gate drive (off+on) + rail recharge, the latter
+  a function of how long the domain slept (short sleeps decay little).
+
+The break-even analysis in ``repro.power.gating`` uses the same three terms,
+so controller decisions and the energy ledger are consistent by
+construction.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+from repro.errors import ConfigError
+from repro.power.gating import GatingCircuit
+from repro.power.temperature import NOMINAL_TEMPERATURE_C, leakage_scale_factor
+
+
+class PowerState(enum.Enum):
+    """Activity states of one gated core domain."""
+
+    ACTIVE = "active"        # retiring instructions
+    STALL = "stall"          # clock-gated, waiting on memory, not power-gated
+    DRAIN = "drain"          # emptying the pipeline before gating
+    SLEEP = "sleep"          # header off, rail decaying (full gate)
+    SLEEP_RETENTION = "sleep_retention"  # rail clamped at the retention voltage
+    WAKE = "wake"            # header staggering on, rail recharging
+    TOKEN_WAIT = "token_wait"  # awake-but-idle, waiting for a wake token (TAP)
+
+
+# Fraction of clock-tree power that survives clock gating (gaters and spine).
+_CLOCK_GATED_RESIDUE = 0.10
+
+
+class CorePowerModel:
+    """Maps activity states and gating events to watts and joules."""
+
+    def __init__(self, circuit: GatingCircuit,
+                 temperature_c: float = NOMINAL_TEMPERATURE_C) -> None:
+        self.circuit = circuit
+        self.tech = circuit.tech
+        self.temperature_c = temperature_c
+        self._leak_scale = leakage_scale_factor(temperature_c)
+        self._state_power = self._build_state_power()
+
+    def _build_state_power(self) -> Dict[PowerState, float]:
+        tech = self.tech
+        leakage = tech.core_leakage_power_w * self._leak_scale
+        return {
+            PowerState.ACTIVE: tech.core_dynamic_power_w + tech.clock_tree_power_w + leakage,
+            PowerState.STALL: tech.clock_tree_power_w * _CLOCK_GATED_RESIDUE + leakage,
+            PowerState.DRAIN: tech.clock_tree_power_w + leakage,
+            PowerState.SLEEP: self.circuit.sleep_residual_power_w,
+            PowerState.SLEEP_RETENTION: self.circuit.retention_sleep_power_w,
+            PowerState.WAKE: leakage,
+            PowerState.TOKEN_WAIT: tech.clock_tree_power_w * _CLOCK_GATED_RESIDUE + leakage,
+        }
+
+    @property
+    def leakage_power_w(self) -> float:
+        """Temperature-scaled domain leakage (what gating can save)."""
+        return self.tech.core_leakage_power_w * self._leak_scale
+
+    @property
+    def background_power_w(self) -> float:
+        """Always-on power outside the gated domain (uncore, DRAM I/F).
+
+        Charged over *total* execution time regardless of core state, which
+        is how gating-induced slowdowns translate into real energy cost.
+        """
+        return self.tech.system_background_power_w
+
+    def state_power_w(self, state: PowerState) -> float:
+        """Power draw while residing in ``state``."""
+        try:
+            return self._state_power[state]
+        except KeyError:
+            raise ConfigError(f"unknown power state {state!r}") from None
+
+    def interval_energy_j(self, state: PowerState, cycles: float) -> float:
+        """Energy of ``cycles`` spent in ``state``."""
+        if cycles < 0:
+            raise ConfigError(f"cycles must be >= 0, got {cycles}")
+        return self.state_power_w(state) * cycles / self.circuit.frequency_hz
+
+    def gating_event_energy_j(self, sleep_cycles: float,
+                              mode: str = "full") -> float:
+        """One-off cost of a gating event whose sleep lasted ``sleep_cycles``.
+
+        Header gate drive plus rail recharge; the continuous sleep draw
+        (header residual, retention clamp) is *not* included here because it
+        is charged as SLEEP / SLEEP_RETENTION interval energy.  ``mode`` is
+        ``"full"`` (collapsed rail) or ``"retention"`` (clamped rail, whose
+        recharge is capped at the clamp swing).
+        """
+        if sleep_cycles < 0:
+            raise ConfigError(f"sleep_cycles must be >= 0, got {sleep_cycles}")
+        sleep_s = self.circuit.cycles_to_seconds(sleep_cycles)
+        if mode == "full":
+            rush = self.circuit.network.rush_charge_energy_j(sleep_s)
+        elif mode == "retention":
+            rush = self.circuit.network.retention_rush_energy_j(sleep_s)
+        else:
+            raise ConfigError(f"unknown sleep mode {mode!r}")
+        return self.circuit.switch_event_energy_j + rush

@@ -1,0 +1,124 @@
+"""Technology-node parameter sets.
+
+Each :class:`TechnologyNode` bundles the electrical parameters the power and
+gating models need for one process generation.  Values are *representative*
+of published 90/65/45/32 nm characterizations (ITRS-era planar bulk CMOS):
+supply voltage falls slowly, leakage's share of core power grows from ~20 %
+at 90 nm to ~40 % at 32 nm, and per-micron switch parameters improve with
+scaling.  Only ratios and orderings derived from these numbers are claimed
+by the evaluation, never absolute watts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TechnologyNode:
+    """Electrical parameters of one process node for a small embedded core."""
+
+    name: str
+    vdd_v: float
+    # Core-domain power at nominal voltage/temperature, 2 GHz-class core.
+    core_dynamic_power_w: float       # switching power when actively retiring
+    core_leakage_power_w: float       # subthreshold + gate leakage, whole domain
+    clock_tree_power_w: float         # burned whenever the clock toggles
+    # Gated-domain electrical characteristics.
+    domain_capacitance_f: float       # virtual-rail + local decap capacitance
+    core_peak_current_a: float        # worst-case active current draw
+    # Sleep (header) transistor characteristics, per micron of gate width.
+    sleep_tx_resistance_ohm_um: float  # Ron * W (ohm-micron product)
+    sleep_tx_leakage_w_per_um: float   # residual leakage through an OFF switch
+    sleep_tx_gate_cap_f_per_um: float  # gate capacitance (switching energy)
+    # Design budgets.
+    max_ir_drop_fraction: float        # allowed virtual-rail droop when active
+    max_rush_current_a: float          # grid-noise ceiling during wakeup
+    # Always-on power outside the gated domain (uncore, DRAM interface,
+    # PLLs): burned for every cycle the program runs, so gating penalties
+    # that stretch execution time cost real energy here.
+    system_background_power_w: float = 0.6
+
+    def __post_init__(self) -> None:
+        positive = (
+            "vdd_v", "core_dynamic_power_w", "core_leakage_power_w",
+            "clock_tree_power_w", "domain_capacitance_f", "core_peak_current_a",
+            "sleep_tx_resistance_ohm_um", "sleep_tx_leakage_w_per_um",
+            "sleep_tx_gate_cap_f_per_um", "max_rush_current_a",
+            "system_background_power_w",
+        )
+        for label in positive:
+            if getattr(self, label) <= 0.0:
+                raise ConfigError(f"{label} must be > 0 in node {self.name!r}")
+        if not 0.0 < self.max_ir_drop_fraction < 0.5:
+            raise ConfigError(
+                f"max_ir_drop_fraction must be in (0, 0.5), got {self.max_ir_drop_fraction}")
+
+    @property
+    def leakage_fraction(self) -> float:
+        """Leakage share of total active core power."""
+        total = self.core_dynamic_power_w + self.core_leakage_power_w + self.clock_tree_power_w
+        return self.core_leakage_power_w / total
+
+
+TECHNOLOGY_NODES: Dict[str, TechnologyNode] = {
+    node.name: node
+    for node in (
+        TechnologyNode(
+            name="90nm", vdd_v=1.20,
+            core_dynamic_power_w=1.60, core_leakage_power_w=0.45,
+            clock_tree_power_w=0.40,
+            domain_capacitance_f=18e-9, core_peak_current_a=2.2,
+            sleep_tx_resistance_ohm_um=12_000.0,
+            sleep_tx_leakage_w_per_um=5.0e-9,
+            sleep_tx_gate_cap_f_per_um=1.4e-15,
+            max_ir_drop_fraction=0.03, max_rush_current_a=1.6,
+            system_background_power_w=0.90,
+        ),
+        TechnologyNode(
+            name="65nm", vdd_v=1.10,
+            core_dynamic_power_w=1.25, core_leakage_power_w=0.50,
+            clock_tree_power_w=0.32,
+            domain_capacitance_f=14e-9, core_peak_current_a=2.0,
+            sleep_tx_resistance_ohm_um=9_000.0,
+            sleep_tx_leakage_w_per_um=6.5e-9,
+            sleep_tx_gate_cap_f_per_um=1.2e-15,
+            max_ir_drop_fraction=0.03, max_rush_current_a=1.5,
+            system_background_power_w=0.75,
+        ),
+        TechnologyNode(
+            name="45nm", vdd_v=1.00,
+            core_dynamic_power_w=1.00, core_leakage_power_w=0.55,
+            clock_tree_power_w=0.26,
+            domain_capacitance_f=11e-9, core_peak_current_a=1.9,
+            sleep_tx_resistance_ohm_um=6_500.0,
+            sleep_tx_leakage_w_per_um=8.0e-9,
+            sleep_tx_gate_cap_f_per_um=1.0e-15,
+            max_ir_drop_fraction=0.025, max_rush_current_a=1.4,
+            system_background_power_w=0.60,
+        ),
+        TechnologyNode(
+            name="32nm", vdd_v=0.90,
+            core_dynamic_power_w=0.80, core_leakage_power_w=0.60,
+            clock_tree_power_w=0.21,
+            domain_capacitance_f=9e-9, core_peak_current_a=1.8,
+            sleep_tx_resistance_ohm_um=4_800.0,
+            sleep_tx_leakage_w_per_um=1.0e-8,
+            sleep_tx_gate_cap_f_per_um=0.85e-15,
+            max_ir_drop_fraction=0.025, max_rush_current_a=1.3,
+            system_background_power_w=0.50,
+        ),
+    )
+}
+
+
+def get_technology(name: str) -> TechnologyNode:
+    """Look up a node by name (``'45nm'`` etc.), with a helpful error."""
+    try:
+        return TECHNOLOGY_NODES[name]
+    except KeyError:
+        known = ", ".join(sorted(TECHNOLOGY_NODES))
+        raise ConfigError(f"unknown technology {name!r}; known nodes: {known}") from None

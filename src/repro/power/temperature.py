@@ -1,0 +1,40 @@
+"""Leakage-temperature dependence.
+
+Subthreshold leakage grows roughly exponentially with junction temperature;
+the folk rule of thumb is "leakage doubles every ~20-30 degrees C".  The
+evaluation uses this only as a scale factor on the node's nominal leakage
+(characterized at 85 degrees C, a typical hot-spot assumption), so a simple
+exponential with a configurable doubling interval is all that is needed.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigError
+
+NOMINAL_TEMPERATURE_C = 85.0
+DEFAULT_DOUBLING_INTERVAL_C = 25.0
+
+# Physical sanity range for junction temperature in silicon.
+_MIN_TEMPERATURE_C = -55.0
+_MAX_TEMPERATURE_C = 150.0
+
+
+def leakage_scale_factor(temperature_c: float,
+                         nominal_c: float = NOMINAL_TEMPERATURE_C,
+                         doubling_interval_c: float = DEFAULT_DOUBLING_INTERVAL_C) -> float:
+    """Multiplier on nominal leakage power at ``temperature_c``.
+
+    Equals 1.0 at the nominal temperature, 2.0 one doubling interval above
+    it, 0.5 one below, etc.
+    """
+    if doubling_interval_c <= 0.0:
+        raise ConfigError(
+            f"doubling_interval_c must be > 0, got {doubling_interval_c}")
+    for label, value in (("temperature_c", temperature_c), ("nominal_c", nominal_c)):
+        if not _MIN_TEMPERATURE_C <= value <= _MAX_TEMPERATURE_C:
+            raise ConfigError(
+                f"{label} must be within [{_MIN_TEMPERATURE_C}, {_MAX_TEMPERATURE_C}] C, "
+                f"got {value}")
+    return math.pow(2.0, (temperature_c - nominal_c) / doubling_interval_c)

@@ -1,0 +1,119 @@
+"""Die-to-die leakage variation.
+
+Leakage current is the most process-sensitive quantity in CMOS: threshold
+voltage variation enters the subthreshold current exponentially, so
+die-to-die leakage is well modeled as **lognormal**.  That matters to MAPG
+twice:
+
+* a *leaky* die saves more from gating (more leakage to cut) and has a
+  shorter break-even time;
+* a *strong* (low-leakage) die may make gating marginal — a BET
+  characterized at typical corner over-gates on strong silicon.
+
+:class:`LeakageVariationModel` samples per-die leakage multipliers and
+builds per-die :class:`~repro.power.gating.SleepTransistorNetwork`
+instances, so a population study (the F13 experiment) is just a loop over
+virtual dies.  Sampling is seeded and reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigError
+from repro.power.gating import SleepTransistorNetwork
+from repro.power.technology import TechnologyNode
+from repro.power.temperature import NOMINAL_TEMPERATURE_C, leakage_scale_factor
+
+
+@dataclass(frozen=True)
+class DieSample:
+    """One virtual die: its leakage multiplier and derived circuit model."""
+
+    die_id: int
+    leakage_multiplier: float
+    network: SleepTransistorNetwork
+
+
+class _ScaledLeakageNetwork(SleepTransistorNetwork):
+    """A sleep-transistor network whose domain leakage carries a die factor."""
+
+    def __init__(self, tech: TechnologyNode, multiplier: float,
+                 temperature_c: float) -> None:
+        super().__init__(tech, temperature_c=temperature_c)
+        self._leakage_power_w *= multiplier
+
+
+class LeakageVariationModel:
+    """Lognormal die-to-die leakage population.
+
+    ``sigma_log`` is the standard deviation of ln(leakage); typical
+    published die-to-die spreads correspond to sigma_log ~ 0.2-0.5
+    (a 3-sigma leakage ratio of ~3x-20x).  The distribution is normalized
+    to a **median** multiplier of 1.0, i.e. the nominal characterization
+    is the median die.
+    """
+
+    def __init__(self, tech: TechnologyNode, sigma_log: float = 0.3,
+                 temperature_c: float = NOMINAL_TEMPERATURE_C,
+                 seed: int = 1) -> None:
+        if sigma_log < 0.0:
+            raise ConfigError(f"sigma_log must be >= 0, got {sigma_log}")
+        self.tech = tech
+        self.sigma_log = sigma_log
+        self.temperature_c = temperature_c
+        self._rng = random.Random(seed)
+
+    def sample_multiplier(self) -> float:
+        """One die's leakage multiplier (median 1.0, lognormal)."""
+        return math.exp(self._rng.gauss(0.0, self.sigma_log))
+
+    def sample_die(self, die_id: int) -> DieSample:
+        multiplier = self.sample_multiplier()
+        network = _ScaledLeakageNetwork(self.tech, multiplier,
+                                        self.temperature_c)
+        return DieSample(die_id=die_id, leakage_multiplier=multiplier,
+                         network=network)
+
+    def sample_population(self, count: int) -> List[DieSample]:
+        """``count`` independent virtual dies."""
+        if count < 1:
+            raise ConfigError(f"population size must be >= 1, got {count}")
+        return [self.sample_die(die_id) for die_id in range(count)]
+
+    def percentile_multiplier(self, p: float) -> float:
+        """Analytic lognormal percentile (0 < p < 100) of the multiplier."""
+        if not 0.0 < p < 100.0:
+            raise ConfigError(f"percentile must be in (0, 100), got {p}")
+        return math.exp(self.sigma_log * _probit(p / 100.0))
+
+
+def _probit(q: float) -> float:
+    """Inverse standard-normal CDF (Acklam's rational approximation)."""
+    if not 0.0 < q < 1.0:
+        raise ConfigError(f"quantile must be in (0, 1), got {q}")
+    # Coefficients for the central and tail regions.
+    a = (-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+         1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00)
+    b = (-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+         6.680131188771972e+01, -1.328068155288572e+01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+         -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+         3.754408661907416e+00)
+    p_low = 0.02425
+    if q < p_low:
+        u = math.sqrt(-2.0 * math.log(q))
+        return (((((c[0] * u + c[1]) * u + c[2]) * u + c[3]) * u + c[4]) * u + c[5]) / \
+            ((((d[0] * u + d[1]) * u + d[2]) * u + d[3]) * u + 1.0)
+    if q > 1.0 - p_low:
+        u = math.sqrt(-2.0 * math.log(1.0 - q))
+        return -(((((c[0] * u + c[1]) * u + c[2]) * u + c[3]) * u + c[4]) * u + c[5]) / \
+            ((((d[0] * u + d[1]) * u + d[2]) * u + d[3]) * u + 1.0)
+    u = q - 0.5
+    r = u * u
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * u / \
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0)

@@ -1,0 +1,15 @@
+"""Residual memory-latency predictors used by the MAPG controller."""
+
+from repro.predict.base import LatencyPredictor, Prediction
+from repro.predict.simple import EwmaPredictor, FixedPredictor, LastValuePredictor
+from repro.predict.table import HistoryTablePredictor, make_predictor
+
+__all__ = [
+    "LatencyPredictor",
+    "Prediction",
+    "FixedPredictor",
+    "LastValuePredictor",
+    "EwmaPredictor",
+    "HistoryTablePredictor",
+    "make_predictor",
+]

@@ -1,0 +1,59 @@
+"""Predictor interface.
+
+MAPG must estimate, at the moment a core stalls on an off-chip access, how
+long that access will take — to decide whether gating is worthwhile (stall
+>= break-even + margin) and when to begin the early wakeup.  Predictors see
+the same information the hardware would: the static instruction (``pc``),
+the DRAM bank the access maps to, and afterwards the measured latency.
+
+All latencies are in core cycles.  ``confidence`` is in [0, 1]; the
+controller falls back to a conservative default below its threshold.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.errors import PredictionError
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """A latency estimate and the predictor's confidence in it."""
+
+    latency_cycles: int
+    confidence: float
+
+    def __post_init__(self) -> None:
+        if self.latency_cycles < 0:
+            raise PredictionError(
+                f"predicted latency must be >= 0, got {self.latency_cycles}")
+        if not 0.0 <= self.confidence <= 1.0:
+            raise PredictionError(
+                f"confidence must be in [0, 1], got {self.confidence}")
+
+
+class LatencyPredictor(abc.ABC):
+    """Base class: predict off-chip access latency, learn from outcomes.
+
+    ``kind`` is an optional categorical feature of the access — in this
+    system the DRAM row-buffer outcome (``"row_hit"`` / ``"row_closed"`` /
+    ``"row_conflict"``), which the memory controller knows when it
+    schedules the command and can expose to the gating controller.  Since
+    DRAM latency is mostly determined by that outcome plus queueing,
+    keying on it is the single biggest accuracy lever.  Predictors are free
+    to ignore it (the scalar baselines do).
+    """
+
+    @abc.abstractmethod
+    def predict(self, pc: int, bank: int, kind: str = "") -> Prediction:
+        """Estimate the latency of an access from ``pc`` hitting ``bank``."""
+
+    @abc.abstractmethod
+    def observe(self, pc: int, bank: int, actual_cycles: int,
+                kind: str = "") -> None:
+        """Learn the measured latency of a completed access."""
+
+    def reset(self) -> None:
+        """Forget all learned state (default: nothing to forget)."""

@@ -1,0 +1,108 @@
+"""Stateless and scalar-state latency predictors (F6 baselines)."""
+
+from __future__ import annotations
+
+from repro.errors import PredictionError
+from repro.predict.base import LatencyPredictor, Prediction
+
+
+class FixedPredictor(LatencyPredictor):
+    """Always predicts a configured constant.
+
+    With the constant set to the closed-row DRAM latency this is the
+    "static worst-typical estimate" a design team would hard-wire; it is
+    also the fallback the MAPG controller uses at low confidence.
+    """
+
+    def __init__(self, latency_cycles: int, confidence: float = 1.0) -> None:
+        if latency_cycles < 0:
+            raise PredictionError(f"latency must be >= 0, got {latency_cycles}")
+        self._prediction = Prediction(latency_cycles, confidence)
+
+    def predict(self, pc: int, bank: int, kind: str = "") -> Prediction:
+        return self._prediction
+
+    def observe(self, pc: int, bank: int, actual_cycles: int,
+                kind: str = "") -> None:
+        pass  # nothing to learn
+
+
+class LastValuePredictor(LatencyPredictor):
+    """Predicts the most recently observed latency, globally.
+
+    Confidence ramps with consecutive predictions that landed within
+    ``tolerance`` (relative) of the observation.
+    """
+
+    def __init__(self, initial_cycles: int = 200, tolerance: float = 0.25) -> None:
+        if initial_cycles < 0:
+            raise PredictionError(f"initial latency must be >= 0, got {initial_cycles}")
+        if tolerance <= 0.0:
+            raise PredictionError(f"tolerance must be > 0, got {tolerance}")
+        self._initial = initial_cycles
+        self._last = initial_cycles
+        self._tolerance = tolerance
+        self._streak = 0
+
+    def predict(self, pc: int, bank: int, kind: str = "") -> Prediction:
+        confidence = min(1.0, self._streak / 4.0)
+        return Prediction(self._last, confidence)
+
+    def observe(self, pc: int, bank: int, actual_cycles: int,
+                kind: str = "") -> None:
+        if actual_cycles < 0:
+            raise PredictionError(f"observed latency must be >= 0, got {actual_cycles}")
+        error = abs(actual_cycles - self._last)
+        if error <= self._tolerance * max(1, self._last):
+            self._streak = min(self._streak + 1, 4)
+        else:
+            self._streak = 0
+        self._last = actual_cycles
+
+    def reset(self) -> None:
+        self._last = self._initial
+        self._streak = 0
+
+
+class EwmaPredictor(LatencyPredictor):
+    """Exponentially-weighted moving average with deviation-based confidence.
+
+    Mirrors the TCP RTT estimator: track the mean and the mean absolute
+    deviation; confidence is high when the deviation is a small fraction of
+    the mean.
+    """
+
+    def __init__(self, initial_cycles: int = 200, alpha: float = 0.25,
+                 beta: float = 0.25) -> None:
+        if initial_cycles < 0:
+            raise PredictionError(f"initial latency must be >= 0, got {initial_cycles}")
+        for label, value in (("alpha", alpha), ("beta", beta)):
+            if not 0.0 < value <= 1.0:
+                raise PredictionError(f"{label} must be in (0, 1], got {value}")
+        self._initial = initial_cycles
+        self._mean = float(initial_cycles)
+        self._deviation = float(initial_cycles) * 0.5
+        self._alpha = alpha
+        self._beta = beta
+        self._observations = 0
+
+    def predict(self, pc: int, bank: int, kind: str = "") -> Prediction:
+        if self._observations == 0:
+            return Prediction(int(round(self._mean)), 0.0)
+        relative_dev = self._deviation / max(1.0, self._mean)
+        confidence = max(0.0, min(1.0, 1.0 - 2.0 * relative_dev))
+        return Prediction(int(round(self._mean)), confidence)
+
+    def observe(self, pc: int, bank: int, actual_cycles: int,
+                kind: str = "") -> None:
+        if actual_cycles < 0:
+            raise PredictionError(f"observed latency must be >= 0, got {actual_cycles}")
+        error = actual_cycles - self._mean
+        self._mean += self._alpha * error
+        self._deviation += self._beta * (abs(error) - self._deviation)
+        self._observations += 1
+
+    def reset(self) -> None:
+        self._mean = float(self._initial)
+        self._deviation = float(self._initial) * 0.5
+        self._observations = 0

@@ -1,0 +1,116 @@
+"""History-table predictor — the predictor MAPG deploys.
+
+DRAM latency is bimodal-per-bank (row hit vs row miss/conflict plus
+queueing), and which mode an access lands in correlates strongly with the
+bank's recent behaviour and with the static instruction stream.  The
+:class:`HistoryTablePredictor` therefore keeps a small direct-mapped table
+of EWMA estimators indexed by a hash of (pc, bank), each with a saturating
+confidence counter that rewards accurate predictions — this is the kind of
+structure that fits in a few hundred bytes of SRAM next to the memory
+controller, which is the implementation a DATE paper would argue for.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.config import GatingConfig
+from repro.errors import PredictionError
+from repro.predict.base import LatencyPredictor, Prediction
+from repro.predict.simple import EwmaPredictor, FixedPredictor, LastValuePredictor
+
+
+class _TableEntry:
+    """One table slot: EWMA latency estimate + 2-bit-style confidence."""
+
+    __slots__ = ("mean", "confidence_counter", "valid")
+
+    CONFIDENCE_MAX = 7  # 3-bit saturating counter
+
+    def __init__(self) -> None:
+        self.mean = 0.0
+        self.confidence_counter = 0
+        self.valid = False
+
+
+class HistoryTablePredictor(LatencyPredictor):
+    """Direct-mapped (pc, bank)-indexed table of latency estimators."""
+
+    def __init__(self, entries: int = 64, alpha: float = 0.3,
+                 tolerance: float = 0.2, initial_cycles: int = 200) -> None:
+        if entries < 1:
+            raise PredictionError(f"table needs >= 1 entry, got {entries}")
+        if not 0.0 < alpha <= 1.0:
+            raise PredictionError(f"alpha must be in (0, 1], got {alpha}")
+        if tolerance <= 0.0:
+            raise PredictionError(f"tolerance must be > 0, got {tolerance}")
+        if initial_cycles < 0:
+            raise PredictionError(f"initial latency must be >= 0, got {initial_cycles}")
+        self._entries_count = entries
+        self._alpha = alpha
+        self._tolerance = tolerance
+        self._initial = initial_cycles
+        self._table: List[_TableEntry] = [_TableEntry() for __ in range(entries)]
+
+    def _index(self, pc: int, bank: int, kind: str) -> int:
+        # Cheap hardware hash: fold pc over the bank id and the row-buffer
+        # outcome (2 bits in hardware; hashed from the string here).
+        kind_bits = sum(kind.encode()) & 0x3F
+        return ((pc >> 2) ^ (bank * 0x9E37) ^ (kind_bits * 0x68E31)) \
+            % self._entries_count
+
+    def predict(self, pc: int, bank: int, kind: str = "") -> Prediction:
+        entry = self._table[self._index(pc, bank, kind)]
+        if not entry.valid:
+            return Prediction(self._initial, 0.0)
+        confidence = entry.confidence_counter / _TableEntry.CONFIDENCE_MAX
+        return Prediction(int(round(entry.mean)), confidence)
+
+    def observe(self, pc: int, bank: int, actual_cycles: int,
+                kind: str = "") -> None:
+        if actual_cycles < 0:
+            raise PredictionError(f"observed latency must be >= 0, got {actual_cycles}")
+        entry = self._table[self._index(pc, bank, kind)]
+        if not entry.valid:
+            entry.mean = float(actual_cycles)
+            entry.confidence_counter = 1
+            entry.valid = True
+            return
+        error = abs(actual_cycles - entry.mean)
+        if error <= self._tolerance * max(1.0, entry.mean):
+            entry.confidence_counter = min(
+                entry.confidence_counter + 1, _TableEntry.CONFIDENCE_MAX)
+        else:
+            entry.confidence_counter = max(entry.confidence_counter - 2, 0)
+        entry.mean += self._alpha * (actual_cycles - entry.mean)
+
+    def reset(self) -> None:
+        self._table = [_TableEntry() for __ in range(self._entries_count)]
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of table slots trained (diagnostic)."""
+        used = sum(1 for entry in self._table if entry.valid)
+        return used / self._entries_count
+
+
+def make_predictor(config: GatingConfig,
+                   default_latency_cycles: int) -> Optional[LatencyPredictor]:
+    """Build the predictor named by ``config.predictor``.
+
+    ``default_latency_cycles`` seeds every predictor's cold-start estimate
+    (the static closed-row DRAM latency).  Returns None for ``"oracle"`` —
+    the controller then uses the simulator's ground truth directly.
+    """
+    name = config.predictor
+    if name == "fixed":
+        return FixedPredictor(default_latency_cycles)
+    if name == "last_value":
+        return LastValuePredictor(initial_cycles=default_latency_cycles)
+    if name == "ewma":
+        return EwmaPredictor(initial_cycles=default_latency_cycles)
+    if name == "table":
+        return HistoryTablePredictor(initial_cycles=default_latency_cycles)
+    if name == "oracle":
+        return None
+    raise PredictionError(f"unknown predictor {name!r}")

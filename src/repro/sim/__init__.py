@@ -1,0 +1,21 @@
+"""Simulation layer: wires substrates to the MAPG controller and runs them."""
+
+from repro.sim.results import ComparisonResult, MulticoreResult, SimulationResult
+from repro.sim.runner import (
+    run_multicore,
+    run_policy_comparison,
+    run_workload,
+    static_offchip_latency_cycles,
+)
+from repro.sim.simulator import Simulator
+
+__all__ = [
+    "ComparisonResult",
+    "MulticoreResult",
+    "SimulationResult",
+    "run_multicore",
+    "run_policy_comparison",
+    "run_workload",
+    "static_offchip_latency_cycles",
+    "Simulator",
+]

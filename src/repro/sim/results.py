@@ -1,0 +1,158 @@
+"""Result objects: what one simulation run measured, and run-vs-run deltas."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Measurements of one (workload, configuration) run.
+
+    ``total_cycles`` includes gating penalties; ``penalty_cycles`` isolates
+    them, so ``total_cycles - penalty_cycles`` is the gating-free execution
+    time of the *same* run (identical memory timing), which is what
+    performance penalties are computed against.
+    """
+
+    workload: str
+    policy: str
+    instructions: int
+    total_cycles: int
+    penalty_cycles: int
+    energy_j: float
+    event_energy_j: float
+    event_count: int
+    state_cycles: Dict[str, int] = field(default_factory=dict)
+    state_energy_j: Dict[str, float] = field(default_factory=dict)
+    controller_counters: Dict[str, float] = field(default_factory=dict)
+    memory_counters: Dict[str, float] = field(default_factory=dict)
+    prediction_mae_cycles: float = 0.0
+    prediction_mape: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.instructions < 0 or self.total_cycles < 0:
+            raise SimulationError("instruction/cycle counts must be >= 0")
+        if self.penalty_cycles < 0 or self.penalty_cycles > self.total_cycles:
+            raise SimulationError(
+                f"penalty_cycles {self.penalty_cycles} out of range "
+                f"[0, {self.total_cycles}]")
+        if self.energy_j < 0.0:
+            raise SimulationError("energy must be >= 0")
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle, penalties included."""
+        if self.total_cycles == 0:
+            return 0.0
+        return self.instructions / self.total_cycles
+
+    @property
+    def baseline_cycles(self) -> int:
+        """Execution time had gating added no penalty."""
+        return self.total_cycles - self.penalty_cycles
+
+    @property
+    def performance_penalty(self) -> float:
+        """Fractional slowdown introduced by gating (0.01 = 1 %)."""
+        if self.baseline_cycles == 0:
+            return 0.0
+        return self.penalty_cycles / self.baseline_cycles
+
+    @property
+    def energy_per_instruction_j(self) -> float:
+        if self.instructions == 0:
+            return 0.0
+        return self.energy_j / self.instructions
+
+    @property
+    def gated_stalls(self) -> float:
+        return self.controller_counters.get("gated", 0.0)
+
+    @property
+    def offchip_stalls(self) -> float:
+        return self.controller_counters.get("offchip_stalls", 0.0)
+
+    @property
+    def sleep_fraction(self) -> float:
+        """Fraction of all cycles spent gated (full collapse or retention)."""
+        if self.total_cycles == 0:
+            return 0.0
+        gated = (self.state_cycles.get("sleep", 0)
+                 + self.state_cycles.get("sleep_retention", 0))
+        return gated / self.total_cycles
+
+    @property
+    def stall_fraction(self) -> float:
+        """Fraction of cycles the pipeline was empty (any reason)."""
+        if self.total_cycles == 0:
+            return 0.0
+        stalled = sum(self.state_cycles.get(name, 0)
+                      for name in ("stall", "drain", "sleep", "sleep_retention",
+                                   "wake", "token_wait"))
+        return stalled / self.total_cycles
+
+    def compare(self, baseline: "SimulationResult") -> "ComparisonResult":
+        """This run measured against ``baseline`` (typically policy=never)."""
+        if baseline.workload != self.workload:
+            raise SimulationError(
+                f"comparing different workloads: {self.workload} vs "
+                f"{baseline.workload}")
+        if baseline.energy_j <= 0.0 or baseline.total_cycles <= 0:
+            raise SimulationError("baseline has no energy/cycles to compare against")
+        energy_saving = 1.0 - self.energy_j / baseline.energy_j
+        slowdown = self.total_cycles / baseline.total_cycles - 1.0
+        edp_self = self.energy_j * self.total_cycles
+        edp_base = baseline.energy_j * baseline.total_cycles
+        return ComparisonResult(
+            workload=self.workload,
+            policy=self.policy,
+            baseline_policy=baseline.policy,
+            energy_saving=energy_saving,
+            performance_penalty=slowdown,
+            edp_ratio=edp_self / edp_base,
+        )
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """One run relative to a baseline run of the same workload.
+
+    ``energy_saving`` and ``performance_penalty`` are fractions (0.12 =
+    12 %); ``edp_ratio`` < 1 means the run improved energy-delay product.
+    """
+
+    workload: str
+    policy: str
+    baseline_policy: str
+    energy_saving: float
+    performance_penalty: float
+    edp_ratio: float
+
+
+@dataclass(frozen=True)
+class MulticoreResult:
+    """Aggregate measurements of one multi-core run (F7)."""
+
+    workloads: Dict[int, str]
+    policy: str
+    num_cores: int
+    wake_tokens: int
+    per_core: Dict[int, SimulationResult]
+    total_energy_j: float
+    makespan_cycles: int
+    token_counters: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_penalty_cycles(self) -> int:
+        return sum(result.penalty_cycles for result in self.per_core.values())
+
+    @property
+    def mean_performance_penalty(self) -> float:
+        if not self.per_core:
+            return 0.0
+        penalties = [result.performance_penalty for result in self.per_core.values()]
+        return sum(penalties) / len(penalties)

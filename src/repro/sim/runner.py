@@ -1,0 +1,193 @@
+"""High-level experiment runners used by examples, benchmarks, and tests.
+
+These functions own the repetitive wiring of the evaluation: build a
+configuration variant, generate the workload trace, run the simulator,
+and hand back result objects.  Every benchmark target in ``benchmarks/``
+is a thin formatter over these.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import SystemConfig
+from repro.core.token import TokenArbiter
+from repro.cpu.multicore import MultiCoreScheduler
+from repro.errors import ConfigError
+from repro.memory.dram import Dram
+from repro.sim.results import MulticoreResult, SimulationResult
+from repro.sim.simulator import Simulator, static_offchip_latency_cycles
+from repro.workloads.synthetic import generate_trace
+
+__all__ = [
+    "run_workload",
+    "run_policy_comparison",
+    "run_multicore",
+    "run_seed_study",
+    "SeedStudy",
+    "static_offchip_latency_cycles",
+    "with_policy",
+]
+
+
+def with_policy(config: SystemConfig, policy: str, **gating_overrides: object) -> SystemConfig:
+    """A copy of ``config`` with the gating policy (and knobs) replaced."""
+    gating = dataclasses.replace(config.gating, policy=policy, **gating_overrides)
+    return config.replace(gating=gating)
+
+
+def run_workload(config: SystemConfig, profile_name: str, num_ops: int,
+                 seed: int = 1, temperature_c: Optional[float] = None,
+                 warmup_ops: int = 0) -> SimulationResult:
+    """Generate a trace for ``profile_name`` and run it through ``config``.
+
+    ``warmup_ops`` extra ops are replayed first and excluded from every
+    metric (caches, row buffers, and predictors stay warm into the
+    measured region).
+    """
+    from repro.workloads.synthetic import SyntheticTraceGenerator
+    from repro.workloads.profiles import get_profile
+
+    kwargs = {} if temperature_c is None else {"temperature_c": temperature_c}
+    simulator = Simulator(config, workload=profile_name, seed=seed, **kwargs)
+    generator = SyntheticTraceGenerator(get_profile(profile_name), seed=seed)
+    if warmup_ops:
+        simulator.warm_up(list(generator.operations(warmup_ops)))
+    return simulator.run(list(generator.operations(num_ops)))
+
+
+def run_policy_comparison(config: SystemConfig, profile_names: Sequence[str],
+                          policies: Sequence[str], num_ops: int,
+                          seed: int = 1) -> Dict[str, Dict[str, SimulationResult]]:
+    """The F2/T3 matrix: results[workload][policy].
+
+    Every policy replays the *identical* trace (same profile, same seed),
+    so differences are attributable to the policy alone.
+    """
+    results: Dict[str, Dict[str, SimulationResult]] = {}
+    for profile_name in profile_names:
+        per_policy: Dict[str, SimulationResult] = {}
+        for policy in policies:
+            variant = with_policy(config, policy)
+            per_policy[policy] = run_workload(variant, profile_name, num_ops, seed=seed)
+        results[profile_name] = per_policy
+    return results
+
+
+def run_seed_study(config: SystemConfig, profile_name: str, num_ops: int,
+                   seeds: Sequence[int],
+                   baseline_policy: str = "never") -> "SeedStudy":
+    """Replicate one (workload, policy) comparison across trace seeds.
+
+    Every seed generates an independent trace instance of the same
+    profile; the study reports the mean and population standard deviation
+    of the energy saving and performance penalty vs the baseline policy —
+    the error bars a reviewer asks for.
+    """
+    if not seeds:
+        raise ConfigError("seed study needs at least one seed")
+    savings: List[float] = []
+    penalties: List[float] = []
+    for seed in seeds:
+        baseline = run_workload(with_policy(config, baseline_policy),
+                                profile_name, num_ops, seed=seed)
+        result = run_workload(config, profile_name, num_ops, seed=seed)
+        delta = result.compare(baseline)
+        savings.append(delta.energy_saving)
+        penalties.append(delta.performance_penalty)
+    return SeedStudy(workload=profile_name, policy=config.gating.policy,
+                     seeds=tuple(seeds), savings=tuple(savings),
+                     penalties=tuple(penalties))
+
+
+@dataclasses.dataclass(frozen=True)
+class SeedStudy:
+    """Replication statistics of one comparison across trace seeds."""
+
+    workload: str
+    policy: str
+    seeds: "tuple[int, ...]"
+    savings: "tuple[float, ...]"
+    penalties: "tuple[float, ...]"
+
+    @staticmethod
+    def _mean(values: "tuple[float, ...]") -> float:
+        return sum(values) / len(values)
+
+    @staticmethod
+    def _std(values: "tuple[float, ...]") -> float:
+        mean = sum(values) / len(values)
+        return (sum((v - mean) ** 2 for v in values) / len(values)) ** 0.5
+
+    @property
+    def mean_saving(self) -> float:
+        return self._mean(self.savings)
+
+    @property
+    def std_saving(self) -> float:
+        return self._std(self.savings)
+
+    @property
+    def mean_penalty(self) -> float:
+        return self._mean(self.penalties)
+
+    @property
+    def std_penalty(self) -> float:
+        return self._std(self.penalties)
+
+
+def run_multicore(config: SystemConfig, profile_names: Sequence[str],
+                  num_ops: int, seed: int = 1,
+                  per_core_configs: Optional[Sequence[SystemConfig]] = None
+                  ) -> MulticoreResult:
+    """Run one multiprogrammed mix (one profile per core) to completion.
+
+    All cores share one DRAM (bank contention couples their timing) and,
+    when ``config.token.enabled``, one TAP wake-token arbiter (F7).
+    ``config.num_cores`` must equal ``len(profile_names)``.
+
+    ``per_core_configs`` makes the chip heterogeneous (big.LITTLE-style):
+    one :class:`SystemConfig` per core overriding the core/cache/gating
+    side, while the shared resources — the DRAM and the token arbiter —
+    always come from the top-level ``config`` (they are one physical
+    device, so per-core DRAM or token settings would be contradictory).
+    """
+    if len(profile_names) != config.num_cores:
+        raise ConfigError(
+            f"config.num_cores={config.num_cores} but "
+            f"{len(profile_names)} workload profiles supplied")
+    if per_core_configs is not None and \
+            len(per_core_configs) != config.num_cores:
+        raise ConfigError(
+            f"config.num_cores={config.num_cores} but "
+            f"{len(per_core_configs)} per-core configs supplied")
+
+    shared_dram = Dram(config.dram)
+    arbiter = TokenArbiter(config.token) if config.token.enabled else None
+
+    simulators: List[Simulator] = []
+    traces = []
+    for core_id, profile_name in enumerate(profile_names):
+        core_config = (per_core_configs[core_id]
+                       if per_core_configs is not None else config)
+        simulators.append(Simulator(
+            core_config, workload=profile_name, shared_dram=shared_dram,
+            token_arbiter=arbiter, core_id=core_id, seed=seed + core_id))
+        traces.append(generate_trace(profile_name, num_ops, seed=seed + core_id))
+
+    scheduler = MultiCoreScheduler([simulator.core for simulator in simulators])
+    clocks = scheduler.run(
+        traces, on_segment=lambda index, segment: simulators[index].handle_segment(segment))
+
+    per_core = {index: simulator.result() for index, simulator in enumerate(simulators)}
+    return MulticoreResult(
+        workloads={index: name for index, name in enumerate(profile_names)},
+        policy=config.gating.policy,
+        num_cores=config.num_cores,
+        wake_tokens=config.token.wake_tokens if arbiter is not None else 0,
+        per_core=per_core,
+        total_energy_j=sum(result.energy_j for result in per_core.values()),
+        makespan_cycles=max(clocks.values()),
+        token_counters=arbiter.counters.as_dict() if arbiter is not None else {},
+    )

@@ -1,0 +1,13 @@
+"""Statistics primitives shared by the simulator and the analysis layer."""
+
+from repro.stats.counters import CounterSet, RunningMean
+from repro.stats.histogram import Histogram
+from repro.stats.intervals import IntervalAccumulator, IntervalRecord
+
+__all__ = [
+    "CounterSet",
+    "RunningMean",
+    "Histogram",
+    "IntervalAccumulator",
+    "IntervalRecord",
+]

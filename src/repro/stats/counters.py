@@ -1,0 +1,116 @@
+"""Named event counters and running means.
+
+``CounterSet`` is a thin, explicit wrapper over a dict that (a) rejects
+decrements, because simulation event counts only grow, and (b) supports
+ratio queries with well-defined zero-denominator behaviour, which every
+results table in the evaluation needs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, Mapping, Tuple
+
+
+class CounterSet:
+    """A set of monotonically increasing named counters."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, float] = {}
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        """Increase counter ``name`` by ``amount`` (must be >= 0)."""
+        if amount < 0:
+            raise ValueError(f"counters are monotonic; cannot add {amount} to {name!r}")
+        self._counts[name] = self._counts.get(name, 0.0) + amount
+
+    def get(self, name: str) -> float:
+        """Current value of ``name`` (0 if never touched)."""
+        return self._counts.get(name, 0.0)
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """``numerator / denominator``; returns 0.0 when the denominator is 0."""
+        denom = self.get(denominator)
+        if denom == 0.0:
+            return 0.0
+        return self.get(numerator) / denom
+
+    def merge(self, other: "CounterSet") -> None:
+        """Accumulate all counters from ``other`` into this set."""
+        for name, value in other.items():
+            self.add(name, value)
+
+    def items(self) -> Iterator[Tuple[str, float]]:
+        return iter(sorted(self._counts.items()))
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._counts)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counts
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v:g}" for k, v in self.items())
+        return f"CounterSet({inner})"
+
+
+class RunningMean:
+    """Numerically stable streaming mean/variance (Welford's algorithm)."""
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def observe(self, value: float) -> None:
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self._count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance; 0.0 with fewer than two observations."""
+        if self._count < 2:
+            return 0.0
+        return self._m2 / self._count
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "RunningMean") -> None:
+        """Combine two streams (Chan et al. parallel update)."""
+        if other._count == 0:
+            return
+        if self._count == 0:
+            self._count, self._mean, self._m2 = other._count, other._mean, other._m2
+            return
+        total = self._count + other._count
+        delta = other._mean - self._mean
+        self._mean += delta * other._count / total
+        self._m2 += other._m2 + delta * delta * self._count * other._count / total
+        self._count = total
+
+
+def geometric_mean(values: Mapping[str, float]) -> float:
+    """Geometric mean over the values of a mapping; requires all values > 0."""
+    if not values:
+        raise ValueError("geometric mean of an empty mapping is undefined")
+    log_sum = 0.0
+    for name, value in values.items():
+        if value <= 0.0:
+            raise ValueError(f"geometric mean requires positive values; {name!r} = {value}")
+        log_sum += math.log(value)
+    return math.exp(log_sum / len(values))

@@ -1,0 +1,137 @@
+"""Fixed-bucket and exact histograms for stall-length distributions (F1)."""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+class Histogram:
+    """Histogram over explicit bucket edges, with exact min/max/sum tracking.
+
+    Buckets are half-open ``[edge[i], edge[i+1])``; values below the first
+    edge go to an underflow bucket and values at or above the last edge to an
+    overflow bucket.  Percentiles are computed from the raw retained samples
+    when ``keep_samples`` is on (the default for evaluation runs, where the
+    sample counts are modest), otherwise estimated by linear interpolation
+    within buckets.
+    """
+
+    def __init__(self, edges: Sequence[float], keep_samples: bool = True) -> None:
+        if len(edges) < 2:
+            raise ValueError("a histogram needs at least two bucket edges")
+        ordered = list(edges)
+        if any(b <= a for a, b in zip(ordered, ordered[1:])):
+            raise ValueError("bucket edges must be strictly increasing")
+        self._edges: List[float] = ordered
+        self._counts: List[int] = [0] * (len(ordered) + 1)  # +under/overflow
+        self._keep = keep_samples
+        self._samples: List[float] = []
+        self._n = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    @classmethod
+    def linear(cls, low: float, high: float, buckets: int, **kwargs: bool) -> "Histogram":
+        if buckets < 1:
+            raise ValueError("need at least one bucket")
+        step = (high - low) / buckets
+        return cls([low + i * step for i in range(buckets + 1)], **kwargs)
+
+    @classmethod
+    def exponential(cls, low: float, factor: float, buckets: int, **kwargs: bool) -> "Histogram":
+        if low <= 0 or factor <= 1.0:
+            raise ValueError("exponential histogram needs low > 0 and factor > 1")
+        return cls([low * factor ** i for i in range(buckets + 1)], **kwargs)
+
+    def observe(self, value: float, count: int = 1) -> None:
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        index = bisect.bisect_right(self._edges, value)
+        self._counts[index] += count
+        self._n += count
+        self._sum += value * count
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+        if self._keep:
+            self._samples.extend([value] * count)
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.observe(value)
+
+    @property
+    def count(self) -> int:
+        return self._n
+
+    @property
+    def total(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._n if self._n else 0.0
+
+    @property
+    def min(self) -> float:
+        return self._min if self._n else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self._n else 0.0
+
+    def bucket_counts(self) -> List[Tuple[float, float, int]]:
+        """(low_edge, high_edge, count) per in-range bucket."""
+        return [
+            (self._edges[i], self._edges[i + 1], self._counts[i + 1])
+            for i in range(len(self._edges) - 1)
+        ]
+
+    @property
+    def underflow(self) -> int:
+        return self._counts[0]
+
+    @property
+    def overflow(self) -> int:
+        return self._counts[-1]
+
+    def percentile(self, p: float) -> float:
+        """The p-th percentile (0 <= p <= 100)."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if self._n == 0:
+            return 0.0
+        if self._keep:
+            ordered = sorted(self._samples)
+            rank = p / 100.0 * (len(ordered) - 1)
+            lower = int(rank)
+            upper = min(lower + 1, len(ordered) - 1)
+            frac = rank - lower
+            return ordered[lower] * (1 - frac) + ordered[upper] * frac
+        return self._percentile_from_buckets(p)
+
+    def _percentile_from_buckets(self, p: float) -> float:
+        target = p / 100.0 * self._n
+        cumulative = 0
+        # Underflow bucket: clamp to min.
+        if self._counts[0]:
+            cumulative += self._counts[0]
+            if cumulative >= target:
+                return self._min
+        for i in range(len(self._edges) - 1):
+            bucket = self._counts[i + 1]
+            if bucket and cumulative + bucket >= target:
+                frac = (target - cumulative) / bucket
+                return self._edges[i] + frac * (self._edges[i + 1] - self._edges[i])
+            cumulative += bucket
+        return self._max
+
+    def normalized(self) -> Dict[Tuple[float, float], float]:
+        """In-range bucket shares of all observations (sums to <= 1.0)."""
+        if self._n == 0:
+            return {}
+        return {
+            (low, high): count / self._n
+            for low, high, count in self.bucket_counts()
+        }

@@ -1,0 +1,111 @@
+"""Interval bookkeeping: the time-in-state ledger of the simulation.
+
+The MAPG evaluation is an exercise in accounting: every core cycle belongs
+to exactly one activity state (busy, stalled-on-memory, draining, gated,
+waking, ...), and the energy model integrates power over those intervals.
+``IntervalAccumulator`` enforces the "exactly one state, no gaps, no
+overlaps" invariant at runtime so that an accounting bug surfaces as an
+exception instead of a silently wrong energy number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class IntervalRecord:
+    """One closed interval spent in ``state``: [start, end) in cycles."""
+
+    state: str
+    start: int
+    end: int
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+
+class IntervalAccumulator:
+    """Tracks contiguous, non-overlapping state intervals over sim time."""
+
+    def __init__(self, initial_state: str, start_cycle: int = 0,
+                 keep_records: bool = False) -> None:
+        self._state = initial_state
+        self._state_start = start_cycle
+        self._totals: Dict[str, int] = {}
+        self._keep = keep_records
+        self._records: List[IntervalRecord] = []
+        self._transitions = 0
+        self._closed_at: Optional[int] = None
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    @property
+    def transitions(self) -> int:
+        return self._transitions
+
+    def switch(self, new_state: str, cycle: int) -> None:
+        """Close the current interval at ``cycle`` and enter ``new_state``.
+
+        ``cycle`` must be monotonically non-decreasing.  Switching to the
+        current state is allowed and is a no-op boundary (zero-length
+        intervals are not recorded).
+        """
+        if self._closed_at is not None:
+            raise SimulationError("accumulator already closed")
+        if cycle < self._state_start:
+            raise SimulationError(
+                f"time went backwards: switch at {cycle} < start {self._state_start}")
+        if new_state == self._state:
+            return
+        self._commit(cycle)
+        self._state = new_state
+        self._state_start = cycle
+        self._transitions += 1
+
+    def close(self, cycle: int) -> None:
+        """Finalize the ledger at ``cycle``; further switches raise."""
+        if self._closed_at is not None:
+            raise SimulationError("accumulator already closed")
+        if cycle < self._state_start:
+            raise SimulationError(
+                f"time went backwards: close at {cycle} < start {self._state_start}")
+        self._commit(cycle)
+        self._closed_at = cycle
+
+    def _commit(self, cycle: int) -> None:
+        length = cycle - self._state_start
+        if length > 0:
+            self._totals[self._state] = self._totals.get(self._state, 0) + length
+            if self._keep:
+                self._records.append(
+                    IntervalRecord(self._state, self._state_start, cycle))
+
+    def total(self, state: str) -> int:
+        """Total cycles accumulated in ``state`` so far (committed intervals)."""
+        return self._totals.get(state, 0)
+
+    def totals(self) -> Dict[str, int]:
+        return dict(self._totals)
+
+    def grand_total(self) -> int:
+        return sum(self._totals.values())
+
+    def records(self) -> List[IntervalRecord]:
+        if not self._keep:
+            raise SimulationError("records were not kept (keep_records=False)")
+        return list(self._records)
+
+    def verify_contiguous(self) -> None:
+        """Assert the kept records tile time with no gaps or overlaps."""
+        records = self.records()
+        for previous, current in zip(records, records[1:]):
+            if current.start != previous.end:
+                raise SimulationError(
+                    f"interval gap/overlap: {previous} then {current}")

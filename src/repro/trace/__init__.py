@@ -1,0 +1,15 @@
+"""Trace substrate: the compact operation format consumed by the core model."""
+
+from repro.trace.format import ComputeBlock, MemoryAccess, TraceOp, trace_summary
+from repro.trace.io import read_trace, read_trace_file, write_trace, write_trace_file
+
+__all__ = [
+    "ComputeBlock",
+    "MemoryAccess",
+    "TraceOp",
+    "trace_summary",
+    "read_trace",
+    "read_trace_file",
+    "write_trace",
+    "write_trace_file",
+]

@@ -1,0 +1,91 @@
+"""Trace record format.
+
+A trace is a sequence of two kinds of operations:
+
+* :class:`ComputeBlock` — ``instructions`` back-to-back non-memory
+  instructions retiring at the core's peak IPC.
+* :class:`MemoryAccess` — one load or store to ``address`` issued by the
+  static instruction at ``pc``.
+
+This run-length encoding is deliberately chosen over a per-instruction
+format: MAPG acts only at memory-stall boundaries, so compute stretches need
+only their length, which keeps million-instruction traces small and fast to
+replay in pure Python while losing nothing the mechanism can observe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Union
+
+from repro.errors import TraceError
+
+
+@dataclass(frozen=True)
+class ComputeBlock:
+    """A run of ``instructions`` non-memory instructions."""
+
+    instructions: int
+
+    def __post_init__(self) -> None:
+        if self.instructions < 1:
+            raise TraceError(
+                f"ComputeBlock needs >= 1 instruction, got {self.instructions}")
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """One memory instruction.
+
+    ``address`` is a byte address; ``pc`` identifies the static instruction
+    (used by per-PC latency predictors); ``is_write`` selects store semantics
+    (write-allocate, dirty line on hit).  ``dependent`` marks an access whose
+    address was computed from the previous load's data (pointer chasing):
+    an out-of-order core cannot issue it while that producer is still in
+    flight, so no amount of MLP hides the serialization.  The blocking
+    in-order core ignores the flag (it serializes everything anyway).
+    """
+
+    address: int
+    pc: int = 0
+    is_write: bool = False
+    dependent: bool = False
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise TraceError(f"address must be non-negative, got {self.address}")
+        if self.pc < 0:
+            raise TraceError(f"pc must be non-negative, got {self.pc}")
+
+
+TraceOp = Union[ComputeBlock, MemoryAccess]
+
+
+def trace_summary(ops: Iterable[TraceOp]) -> Dict[str, int]:
+    """Instruction/access counts of a trace, validating record types.
+
+    Returns a dict with ``instructions`` (total dynamic instructions,
+    memory ops included), ``memory_accesses``, ``writes``, and ``ops``
+    (record count).
+    """
+    instructions = 0
+    accesses = 0
+    writes = 0
+    records = 0
+    for op in ops:
+        records += 1
+        if isinstance(op, ComputeBlock):
+            instructions += op.instructions
+        elif isinstance(op, MemoryAccess):
+            instructions += 1
+            accesses += 1
+            if op.is_write:
+                writes += 1
+        else:
+            raise TraceError(f"unknown trace record type: {type(op).__name__}")
+    return {
+        "instructions": instructions,
+        "memory_accesses": accesses,
+        "writes": writes,
+        "ops": records,
+    }

@@ -1,0 +1,152 @@
+"""Trace serialization.
+
+Two formats share one record schema:
+
+* **text** (``.jsonl``): one JSON object per line — self-describing, easy to
+  inspect and diff; used for small examples and regression fixtures.
+* **binary** (``.bin``): fixed-width little-endian records via ``struct`` —
+  compact for long generated traces.
+
+Binary layout per record (9 bytes):
+``kind:u8`` then for compute ``instructions:u64``; for memory the record is
+25 bytes: ``address:u64 pc:u64 flags:u64`` (flags bit 0 = is_write,
+bit 1 = dependent).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+from typing import BinaryIO, Iterable, Iterator, List, TextIO, Union
+
+from repro.errors import TraceError
+from repro.trace.format import ComputeBlock, MemoryAccess, TraceOp
+
+_KIND_COMPUTE = 0
+_KIND_MEMORY = 1
+_COMPUTE_STRUCT = struct.Struct("<BQ")
+_MEMORY_STRUCT = struct.Struct("<BQQQ")
+
+
+# ---- text (jsonl) ---------------------------------------------------------------
+
+
+def _op_to_obj(op: TraceOp) -> dict:
+    if isinstance(op, ComputeBlock):
+        return {"kind": "compute", "n": op.instructions}
+    if isinstance(op, MemoryAccess):
+        obj = {"kind": "mem", "addr": op.address, "pc": op.pc,
+               "w": int(op.is_write)}
+        if op.dependent:
+            obj["dep"] = 1
+        return obj
+    raise TraceError(f"unknown trace record type: {type(op).__name__}")
+
+
+def _obj_to_op(obj: dict) -> TraceOp:
+    kind = obj.get("kind")
+    if kind == "compute":
+        return ComputeBlock(instructions=int(obj["n"]))
+    if kind == "mem":
+        return MemoryAccess(
+            address=int(obj["addr"]),
+            pc=int(obj.get("pc", 0)),
+            is_write=bool(obj.get("w", 0)),
+            dependent=bool(obj.get("dep", 0)),
+        )
+    raise TraceError(f"unknown trace record kind: {kind!r}")
+
+
+def write_trace(ops: Iterable[TraceOp], stream: TextIO) -> int:
+    """Write ops as JSON lines; returns the record count."""
+    count = 0
+    for op in ops:
+        stream.write(json.dumps(_op_to_obj(op), separators=(",", ":")))
+        stream.write("\n")
+        count += 1
+    return count
+
+
+def read_trace(stream: TextIO) -> Iterator[TraceOp]:
+    """Yield ops from a JSON-lines stream, validating each record."""
+    for line_number, line in enumerate(stream, start=1):
+        text = line.strip()
+        if not text:
+            continue
+        try:
+            obj = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"line {line_number}: invalid JSON: {exc}") from exc
+        if not isinstance(obj, dict):
+            raise TraceError(f"line {line_number}: record must be an object")
+        yield _obj_to_op(obj)
+
+
+# ---- binary ---------------------------------------------------------------------
+
+
+def _write_binary(ops: Iterable[TraceOp], stream: BinaryIO) -> int:
+    count = 0
+    for op in ops:
+        if isinstance(op, ComputeBlock):
+            stream.write(_COMPUTE_STRUCT.pack(_KIND_COMPUTE, op.instructions))
+        elif isinstance(op, MemoryAccess):
+            flags = int(op.is_write) | (int(op.dependent) << 1)
+            stream.write(_MEMORY_STRUCT.pack(
+                _KIND_MEMORY, op.address, op.pc, flags))
+        else:
+            raise TraceError(f"unknown trace record type: {type(op).__name__}")
+        count += 1
+    return count
+
+
+def _read_binary(stream: BinaryIO) -> Iterator[TraceOp]:
+    while True:
+        kind_byte = stream.read(1)
+        if not kind_byte:
+            return
+        kind = kind_byte[0]
+        if kind == _KIND_COMPUTE:
+            payload = stream.read(_COMPUTE_STRUCT.size - 1)
+            if len(payload) != _COMPUTE_STRUCT.size - 1:
+                raise TraceError("truncated compute record")
+            (instructions,) = struct.unpack("<Q", payload)
+            yield ComputeBlock(instructions=instructions)
+        elif kind == _KIND_MEMORY:
+            payload = stream.read(_MEMORY_STRUCT.size - 1)
+            if len(payload) != _MEMORY_STRUCT.size - 1:
+                raise TraceError("truncated memory record")
+            address, pc, flags = struct.unpack("<QQQ", payload)
+            yield MemoryAccess(address=address, pc=pc,
+                               is_write=bool(flags & 1),
+                               dependent=bool(flags & 2))
+        else:
+            raise TraceError(f"unknown binary record kind: {kind}")
+
+
+# ---- file-level helpers ---------------------------------------------------------
+
+
+def write_trace_file(ops: Iterable[TraceOp], path: Union[str, Path]) -> int:
+    """Write a trace to ``path``; format chosen by suffix (.jsonl or .bin)."""
+    path = Path(path)
+    if path.suffix == ".jsonl":
+        with open(path, "w", encoding="utf-8") as stream:
+            return write_trace(ops, stream)
+    if path.suffix == ".bin":
+        with open(path, "wb") as stream:
+            return _write_binary(ops, stream)
+    raise TraceError(f"unsupported trace suffix {path.suffix!r} (use .jsonl or .bin)")
+
+
+def read_trace_file(path: Union[str, Path]) -> List[TraceOp]:
+    """Read an entire trace file into a list; format chosen by suffix."""
+    path = Path(path)
+    if path.suffix == ".jsonl":
+        with open(path, "r", encoding="utf-8") as stream:
+            return list(read_trace(stream))
+    if path.suffix == ".bin":
+        with open(path, "rb") as stream:
+            return list(_read_binary(stream))
+    raise TraceError(f"unsupported trace suffix {path.suffix!r} (use .jsonl or .bin)")

@@ -1,0 +1,127 @@
+"""Trace transformations.
+
+Utility passes over trace-op sequences that the examples, tests, and
+benchmark setup use to build derived workloads without regenerating:
+
+* :func:`truncate`      — first N ops (fast sub-sampling of long traces)
+* :func:`skip`          — drop a warm-up prefix
+* :func:`remap_addresses` — relocate a trace into a disjoint address region
+  (building multiprogrammed mixes that must not share data)
+* :func:`interleave`    — round-robin merge of several traces into one
+  (a crude time-share of one core)
+* :func:`scale_compute` — multiply compute-block lengths (change the
+  memory intensity of an existing trace)
+* :func:`window_summaries` — per-window instruction/access counts (phase
+  inspection)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence
+
+from repro.errors import TraceError
+from repro.trace.format import ComputeBlock, MemoryAccess, TraceOp
+
+
+def truncate(ops: Iterable[TraceOp], count: int) -> Iterator[TraceOp]:
+    """Yield at most the first ``count`` ops."""
+    if count < 0:
+        raise TraceError(f"count must be >= 0, got {count}")
+    for index, op in enumerate(ops):
+        if index >= count:
+            return
+        yield op
+
+
+def skip(ops: Iterable[TraceOp], count: int) -> Iterator[TraceOp]:
+    """Yield everything after the first ``count`` ops (warm-up removal)."""
+    if count < 0:
+        raise TraceError(f"count must be >= 0, got {count}")
+    for index, op in enumerate(ops):
+        if index >= count:
+            yield op
+
+
+def remap_addresses(ops: Iterable[TraceOp], offset_bytes: int) -> Iterator[TraceOp]:
+    """Shift every memory address by ``offset_bytes`` (must stay >= 0)."""
+    for op in ops:
+        if isinstance(op, MemoryAccess):
+            new_address = op.address + offset_bytes
+            if new_address < 0:
+                raise TraceError(
+                    f"remap pushes address {op.address:#x} below zero")
+            yield MemoryAccess(address=new_address, pc=op.pc,
+                               is_write=op.is_write)
+        else:
+            yield op
+
+
+def interleave(traces: Sequence[Sequence[TraceOp]],
+               chunk_ops: int = 1) -> Iterator[TraceOp]:
+    """Round-robin merge: ``chunk_ops`` ops from each trace in turn.
+
+    Exhausted traces drop out; the merge ends when all are exhausted.
+    """
+    if not traces:
+        raise TraceError("interleave needs at least one trace")
+    if chunk_ops < 1:
+        raise TraceError(f"chunk_ops must be >= 1, got {chunk_ops}")
+    iterators: List[Iterator[TraceOp]] = [iter(trace) for trace in traces]
+    live = list(range(len(iterators)))
+    while live:
+        finished: List[int] = []
+        for index in live:
+            for __ in range(chunk_ops):
+                try:
+                    yield next(iterators[index])
+                except StopIteration:
+                    finished.append(index)
+                    break
+        for index in finished:
+            live.remove(index)
+
+
+def scale_compute(ops: Iterable[TraceOp], factor: float) -> Iterator[TraceOp]:
+    """Scale compute-block lengths by ``factor`` (memory ops untouched).
+
+    Scaled blocks round to a minimum of one instruction, so the op count
+    and the memory access sequence are exactly preserved.
+    """
+    if factor <= 0.0:
+        raise TraceError(f"factor must be > 0, got {factor}")
+    for op in ops:
+        if isinstance(op, ComputeBlock):
+            yield ComputeBlock(max(1, int(round(op.instructions * factor))))
+        else:
+            yield op
+
+
+def window_summaries(ops: Iterable[TraceOp],
+                     window_ops: int) -> List[Dict[str, int]]:
+    """Per-window counts: instructions, memory accesses, writes.
+
+    The final window may be partial.  Useful for eyeballing the phase
+    structure of a generated trace.
+    """
+    if window_ops < 1:
+        raise TraceError(f"window_ops must be >= 1, got {window_ops}")
+    windows: List[Dict[str, int]] = []
+    current = {"instructions": 0, "memory_accesses": 0, "writes": 0, "ops": 0}
+    for op in ops:
+        if isinstance(op, ComputeBlock):
+            current["instructions"] += op.instructions
+        elif isinstance(op, MemoryAccess):
+            current["instructions"] += 1
+            current["memory_accesses"] += 1
+            if op.is_write:
+                current["writes"] += 1
+        else:
+            raise TraceError(f"unknown trace record type: {type(op).__name__}")
+        current["ops"] += 1
+        if current["ops"] == window_ops:
+            windows.append(current)
+            current = {"instructions": 0, "memory_accesses": 0,
+                       "writes": 0, "ops": 0}
+    if current["ops"]:
+        windows.append(current)
+    return windows

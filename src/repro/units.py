@@ -1,0 +1,95 @@
+"""Unit helpers for time, energy, and power.
+
+The simulator keeps time in **cycles** (integers) at the core clock, while
+the circuit and power models naturally work in **seconds**, **watts**, and
+**joules**.  Mixing those silently is the classic source of 1000x errors in
+power studies, so this module provides one explicit conversion point.
+
+Conventions used throughout the package:
+
+* ``cycles``    — ``int``, core-clock cycles.
+* ``seconds``   — ``float``, SI seconds.
+* ``watts``     — ``float``, SI watts.
+* ``joules``    — ``float``, SI joules.
+
+Convenience constants (``NS``, ``US``, ``MW`` …) exist so that configuration
+literals read like the paper: ``t_rcd=13.75 * NS``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigError
+
+# Time scale factors (value expressed in seconds).
+FS = 1e-15
+PS = 1e-12
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+
+# Power scale factors (value expressed in watts).
+NW = 1e-9
+UW = 1e-6
+MW = 1e-3
+
+# Energy scale factors (value expressed in joules).
+FJ = 1e-15
+PJ = 1e-12
+NJ = 1e-9
+UJ = 1e-6
+MJ = 1e-3
+
+# Frequency scale factors (value expressed in hertz).
+KHZ = 1e3
+MHZ = 1e6
+GHZ = 1e9
+
+
+def cycles_to_seconds(cycles: float, frequency_hz: float) -> float:
+    """Convert a cycle count at ``frequency_hz`` to seconds."""
+    if frequency_hz <= 0.0:
+        raise ConfigError(f"frequency must be positive, got {frequency_hz}")
+    return cycles / frequency_hz
+
+
+def seconds_to_cycles(seconds: float, frequency_hz: float) -> float:
+    """Convert a duration in seconds to (fractional) cycles at ``frequency_hz``."""
+    if frequency_hz <= 0.0:
+        raise ConfigError(f"frequency must be positive, got {frequency_hz}")
+    return seconds * frequency_hz
+
+
+def seconds_to_cycles_ceil(seconds: float, frequency_hz: float) -> int:
+    """Convert seconds to whole cycles, rounding up.
+
+    Rounding up is the conservative choice for latencies: a hardware event
+    that takes 3.2 cycles occupies 4 clock edges.
+    """
+    return int(math.ceil(seconds_to_cycles(seconds, frequency_hz) - 1e-12))
+
+
+def energy_joules(power_watts: float, seconds: float) -> float:
+    """Energy of a constant power draw over a duration."""
+    return power_watts * seconds
+
+
+def format_si(value: float, unit: str, precision: int = 3) -> str:
+    """Format ``value`` with an SI prefix, e.g. ``format_si(2.5e-9, 's')`` -> ``'2.5 ns'``.
+
+    Handles zero and negative values; magnitudes outside [1e-18, 1e18) fall
+    back to plain scientific notation.
+    """
+    if value == 0.0:
+        return f"0 {unit}"
+    prefixes = [
+        (1e18, "E"), (1e15, "P"), (1e12, "T"), (1e9, "G"), (1e6, "M"),
+        (1e3, "k"), (1.0, ""), (1e-3, "m"), (1e-6, "u"), (1e-9, "n"),
+        (1e-12, "p"), (1e-15, "f"), (1e-18, "a"),
+    ]
+    magnitude = abs(value)
+    for scale, prefix in prefixes:
+        if magnitude >= scale:
+            return f"{value / scale:.{precision}g} {prefix}{unit}"
+    return f"{value:.{precision}e} {unit}"

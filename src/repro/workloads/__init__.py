@@ -1,0 +1,23 @@
+"""Workload substrate: SPEC-like synthetic trace generation."""
+
+from repro.workloads.phases import PhaseSchedule, PhaseSpec
+from repro.workloads.profiles import (
+    PROFILES,
+    WorkloadProfile,
+    get_profile,
+    memory_bound_profiles,
+    profile_names,
+)
+from repro.workloads.synthetic import SyntheticTraceGenerator, generate_trace
+
+__all__ = [
+    "PhaseSchedule",
+    "PhaseSpec",
+    "PROFILES",
+    "WorkloadProfile",
+    "get_profile",
+    "memory_bound_profiles",
+    "profile_names",
+    "SyntheticTraceGenerator",
+    "generate_trace",
+]

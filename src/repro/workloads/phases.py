@@ -1,0 +1,77 @@
+"""Program-phase modeling.
+
+Real programs alternate between memory-intense and compute-intense phases
+(loops over large arrays vs. local computation).  Phase structure matters to
+MAPG twice: it creates bursts of gating opportunities, and it is what makes
+history-based latency prediction work (within a phase, consecutive misses
+behave alike).
+
+A :class:`PhaseSchedule` is a repeating sequence of :class:`PhaseSpec`
+segments; the generator asks it which phase any given operation index falls
+into.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One program phase.
+
+    ``ops`` — length of the phase in trace operations.
+    ``memory_scale`` — multiplier on the profile's memory intensity
+    (> 1 = more memory ops per instruction than the profile average).
+    ``random_scale`` — multiplier shifting the access mix toward random
+    (cache-hostile) addresses within the phase.
+    """
+
+    ops: int
+    memory_scale: float = 1.0
+    random_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.ops < 1:
+            raise ConfigError(f"phase length must be >= 1 op, got {self.ops}")
+        if self.memory_scale <= 0.0:
+            raise ConfigError(f"memory_scale must be > 0, got {self.memory_scale}")
+        if self.random_scale < 0.0:
+            raise ConfigError(f"random_scale must be >= 0, got {self.random_scale}")
+
+
+class PhaseSchedule:
+    """A repeating sequence of phases addressed by operation index."""
+
+    def __init__(self, phases: Sequence[PhaseSpec]) -> None:
+        if not phases:
+            raise ConfigError("a phase schedule needs at least one phase")
+        self._phases: Tuple[PhaseSpec, ...] = tuple(phases)
+        self._period = sum(phase.ops for phase in self._phases)
+
+    @classmethod
+    def steady(cls) -> "PhaseSchedule":
+        """A single uniform phase (no phase behaviour)."""
+        return cls((PhaseSpec(ops=1),))
+
+    @property
+    def period(self) -> int:
+        return self._period
+
+    @property
+    def phases(self) -> Tuple[PhaseSpec, ...]:
+        return self._phases
+
+    def phase_at(self, op_index: int) -> PhaseSpec:
+        """The phase governing operation ``op_index`` (schedule repeats)."""
+        if op_index < 0:
+            raise ConfigError(f"op_index must be >= 0, got {op_index}")
+        position = op_index % self._period
+        for phase in self._phases:
+            if position < phase.ops:
+                return phase
+            position -= phase.ops
+        raise AssertionError("unreachable: position always falls inside the period")

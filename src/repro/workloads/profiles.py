@@ -1,0 +1,240 @@
+"""SPEC-CPU2006-like workload profiles.
+
+We cannot redistribute SPEC traces, so each profile parameterizes the
+synthetic generator to match the *published qualitative behaviour* of a
+well-known benchmark: its memory intensity (ops per instruction), cache
+friendliness (working-set size and access-pattern mix), and phase
+structure.  The suffix ``_like`` is deliberate — these are behavioural
+stand-ins, and the evaluation only relies on the *ordering* they induce
+(mcf-like most memory-bound ... povray-like least), which matches the
+published SPEC ordering.
+
+Pattern mix semantics: every memory access draws its address from one of
+three streams — ``sequential`` (unit-line stride: prefetch- and row-buffer-
+friendly), ``strided`` (large fixed stride: row-buffer-hostile but
+predictable), ``random`` (uniform over the working set: cache- and
+row-buffer-hostile).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigError
+from repro.workloads.phases import PhaseSchedule, PhaseSpec
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Generator parameters for one benchmark-like workload."""
+
+    name: str
+    description: str
+    instructions_per_memory_op: float  # mean dynamic instructions per memory access
+    sequential_fraction: float
+    strided_fraction: float
+    random_fraction: float
+    working_set_bytes: int
+    stride_bytes: int = 1024
+    write_fraction: float = 0.3
+    pc_pool_size: int = 32
+    # Temporal locality: fraction of accesses that re-touch a recently-used
+    # line.  High for compute-bound codes, low for pointer chasers.
+    # Re-touches draw over the last ``reuse_window_lines`` with a power-law
+    # skew toward recency (``reuse_skew``: draw index = window * u^skew),
+    # which gives traces a continuous stack-distance profile — near draws
+    # hit L1, middle-distance draws exercise L2 capacity.
+    reuse_fraction: float = 0.85
+    reuse_window_lines: int = 2048
+    reuse_skew: float = 3.0
+    # Spatial locality within the sequential stream: bytes advanced per
+    # access (8 = a 64 B line is touched 8 times before moving on).
+    sequential_step_bytes: int = 8
+    # Fraction of fresh random-stream loads whose address depends on the
+    # previous load's data (pointer chasing).  Dependent loads cannot issue
+    # while their producer is in flight, so MLP cannot hide them; only the
+    # windowed core reads the flag.
+    pointer_chase_fraction: float = 0.0
+    phases: Tuple[PhaseSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.instructions_per_memory_op < 1.0:
+            raise ConfigError(
+                f"instructions_per_memory_op must be >= 1, got "
+                f"{self.instructions_per_memory_op}")
+        mix = self.sequential_fraction + self.strided_fraction + self.random_fraction
+        if abs(mix - 1.0) > 1e-9:
+            raise ConfigError(f"pattern fractions must sum to 1.0, got {mix}")
+        for label in ("sequential_fraction", "strided_fraction", "random_fraction",
+                      "write_fraction", "reuse_fraction"):
+            value = getattr(self, label)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{label} must be in [0, 1], got {value}")
+        if self.working_set_bytes < 4096:
+            raise ConfigError(
+                f"working set must be >= 4 KiB, got {self.working_set_bytes}")
+        if self.stride_bytes < 1:
+            raise ConfigError(f"stride_bytes must be >= 1, got {self.stride_bytes}")
+        if self.pc_pool_size < 1:
+            raise ConfigError(f"pc_pool_size must be >= 1, got {self.pc_pool_size}")
+        if self.reuse_window_lines < 1:
+            raise ConfigError(
+                f"reuse_window_lines must be >= 1, got {self.reuse_window_lines}")
+        if self.reuse_skew < 1.0:
+            raise ConfigError(
+                f"reuse_skew must be >= 1, got {self.reuse_skew}")
+        if self.sequential_step_bytes < 1:
+            raise ConfigError(
+                f"sequential_step_bytes must be >= 1, got {self.sequential_step_bytes}")
+        if not 0.0 <= self.pointer_chase_fraction <= 1.0:
+            raise ConfigError(
+                f"pointer_chase_fraction must be in [0, 1], "
+                f"got {self.pointer_chase_fraction}")
+
+    def phase_schedule(self) -> PhaseSchedule:
+        """The profile's phase structure (steady if none declared)."""
+        if not self.phases:
+            return PhaseSchedule.steady()
+        return PhaseSchedule(self.phases)
+
+
+_MIB = 1024 * 1024
+
+_ALL_PROFILES: List[WorkloadProfile] = [
+    WorkloadProfile(
+        name="mcf_like",
+        description="pointer-chasing over a huge graph; extremely memory-bound",
+        instructions_per_memory_op=4.0,
+        sequential_fraction=0.05, strided_fraction=0.10, random_fraction=0.85,
+        working_set_bytes=256 * _MIB, write_fraction=0.25, pc_pool_size=24, reuse_fraction=0.55, reuse_window_lines=32768, reuse_skew=8.0, pointer_chase_fraction=0.85,
+    ),
+    WorkloadProfile(
+        name="gems_like",
+        description="FDTD electromagnetic solver; huge strided sweeps, very memory-bound",
+        instructions_per_memory_op=5.0,
+        sequential_fraction=0.35, strided_fraction=0.50, random_fraction=0.15,
+        working_set_bytes=192 * _MIB, stride_bytes=8192, write_fraction=0.45,
+        pc_pool_size=16, reuse_fraction=0.58, reuse_window_lines=16384, reuse_skew=8.0,
+    ),
+    WorkloadProfile(
+        name="libquantum_like",
+        description="streaming sweeps over a large state vector; bandwidth-bound",
+        instructions_per_memory_op=6.0,
+        sequential_fraction=0.80, strided_fraction=0.15, random_fraction=0.05,
+        working_set_bytes=64 * _MIB, write_fraction=0.45, pc_pool_size=8, reuse_fraction=0.60, reuse_window_lines=8192, reuse_skew=7.0,
+    ),
+    WorkloadProfile(
+        name="lbm_like",
+        description="lattice-Boltzmann stencil; strided streaming, large footprint",
+        instructions_per_memory_op=5.0,
+        sequential_fraction=0.45, strided_fraction=0.45, random_fraction=0.10,
+        working_set_bytes=128 * _MIB, stride_bytes=4096, write_fraction=0.50,
+        pc_pool_size=16, reuse_fraction=0.60, reuse_window_lines=16384, reuse_skew=8.0,
+    ),
+    WorkloadProfile(
+        name="milc_like",
+        description="lattice QCD; phase-alternating strided/random traffic",
+        instructions_per_memory_op=6.0,
+        sequential_fraction=0.30, strided_fraction=0.40, random_fraction=0.30,
+        working_set_bytes=96 * _MIB, stride_bytes=2048, write_fraction=0.35,
+        pc_pool_size=24, reuse_fraction=0.70, reuse_window_lines=32768, reuse_skew=8.0,
+        phases=(PhaseSpec(ops=4000, memory_scale=1.5, random_scale=1.3),
+                PhaseSpec(ops=4000, memory_scale=0.6, random_scale=0.5)),
+    ),
+    WorkloadProfile(
+        name="soplex_like",
+        description="sparse LP solver; irregular over a moderate footprint",
+        instructions_per_memory_op=7.0,
+        sequential_fraction=0.25, strided_fraction=0.25, random_fraction=0.50,
+        working_set_bytes=48 * _MIB, write_fraction=0.30, pc_pool_size=40, reuse_fraction=0.78, reuse_window_lines=32768, reuse_skew=8.0, pointer_chase_fraction=0.30,
+    ),
+    WorkloadProfile(
+        name="gcc_like",
+        description="compiler; mixed locality, phase-heavy, moderate misses",
+        instructions_per_memory_op=8.0,
+        sequential_fraction=0.40, strided_fraction=0.20, random_fraction=0.40,
+        working_set_bytes=24 * _MIB, write_fraction=0.35, pc_pool_size=64, reuse_fraction=0.85, reuse_window_lines=16384, reuse_skew=8.0,
+        phases=(PhaseSpec(ops=3000, memory_scale=1.4, random_scale=1.2),
+                PhaseSpec(ops=5000, memory_scale=0.7, random_scale=0.8)),
+    ),
+    WorkloadProfile(
+        name="astar_like",
+        description="path-finding; pointer-heavy over a mid-size graph",
+        instructions_per_memory_op=6.0,
+        sequential_fraction=0.15, strided_fraction=0.15, random_fraction=0.70,
+        working_set_bytes=32 * _MIB, write_fraction=0.20, pc_pool_size=32, reuse_fraction=0.80, reuse_window_lines=16384, reuse_skew=8.0, pointer_chase_fraction=0.70,
+    ),
+    WorkloadProfile(
+        name="omnetpp_like",
+        description="discrete-event network simulator; heap-allocated event objects",
+        instructions_per_memory_op=6.0,
+        sequential_fraction=0.20, strided_fraction=0.10, random_fraction=0.70,
+        working_set_bytes=40 * _MIB, write_fraction=0.30, pc_pool_size=56,
+        reuse_fraction=0.76, reuse_window_lines=16384, reuse_skew=8.0, pointer_chase_fraction=0.60,
+        phases=(PhaseSpec(ops=3500, memory_scale=1.3, random_scale=1.2),
+                PhaseSpec(ops=3500, memory_scale=0.8, random_scale=0.9)),
+    ),
+    WorkloadProfile(
+        name="bzip2_like",
+        description="compression; block-local with periodic table scans",
+        instructions_per_memory_op=9.0,
+        sequential_fraction=0.55, strided_fraction=0.15, random_fraction=0.30,
+        working_set_bytes=8 * _MIB, write_fraction=0.40, pc_pool_size=48, reuse_fraction=0.88, reuse_window_lines=8192, reuse_skew=7.0,
+        phases=(PhaseSpec(ops=6000, memory_scale=1.0),
+                PhaseSpec(ops=2000, memory_scale=1.6, random_scale=1.5)),
+    ),
+    WorkloadProfile(
+        name="sjeng_like",
+        description="chess search; branchy compute with transposition-table probes",
+        instructions_per_memory_op=11.0,
+        sequential_fraction=0.30, strided_fraction=0.10, random_fraction=0.60,
+        working_set_bytes=6 * _MIB, write_fraction=0.25, pc_pool_size=72,
+        reuse_fraction=0.90, reuse_window_lines=4096, reuse_skew=7.0,
+    ),
+    WorkloadProfile(
+        name="hmmer_like",
+        description="profile HMM search; hot inner loop, small working set",
+        instructions_per_memory_op=10.0,
+        sequential_fraction=0.70, strided_fraction=0.20, random_fraction=0.10,
+        working_set_bytes=4 * _MIB, write_fraction=0.25, pc_pool_size=16, reuse_fraction=0.93, reuse_window_lines=4096, reuse_skew=7.0,
+    ),
+    WorkloadProfile(
+        name="perlbench_like",
+        description="interpreter; branchy, mostly cache-resident",
+        instructions_per_memory_op=9.0,
+        sequential_fraction=0.45, strided_fraction=0.10, random_fraction=0.45,
+        working_set_bytes=2 * _MIB, write_fraction=0.35, pc_pool_size=96, reuse_fraction=0.92, reuse_window_lines=4096, reuse_skew=7.0,
+    ),
+    WorkloadProfile(
+        name="povray_like",
+        description="ray tracing; compute-bound, tiny hot working set",
+        instructions_per_memory_op=14.0,
+        sequential_fraction=0.60, strided_fraction=0.20, random_fraction=0.20,
+        working_set_bytes=1 * _MIB, write_fraction=0.20, pc_pool_size=32, reuse_fraction=0.96, reuse_window_lines=1024, reuse_skew=6.0,
+    ),
+]
+
+PROFILES: Dict[str, WorkloadProfile] = {p.name: p for p in _ALL_PROFILES}
+
+# Profiles whose working set decisively exceeds the default 2 MiB L2.
+_MEMORY_BOUND = ("mcf_like", "gems_like", "libquantum_like", "lbm_like", "milc_like", "soplex_like")
+
+
+def profile_names() -> List[str]:
+    """All profile names in memory-boundedness order (most bound first)."""
+    return [p.name for p in _ALL_PROFILES]
+
+
+def memory_bound_profiles() -> List[str]:
+    """The subset of clearly memory-bound profiles (used by F3/F5 sweeps)."""
+    return list(_MEMORY_BOUND)
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    """Look up a profile by name with a helpful error message."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        known = ", ".join(profile_names())
+        raise ConfigError(f"unknown workload profile {name!r}; known: {known}") from None

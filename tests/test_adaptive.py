@@ -1,0 +1,84 @@
+"""Tests for the adaptive (feedback-controlled) MAPG policy."""
+
+import pytest
+
+from repro.config import GatingConfig, SystemConfig
+from repro.core.adaptive import AdaptiveMapgPolicy
+from repro.core.breakeven import BreakEvenAnalyzer
+from repro.core.wakeup import WakeupPlan
+from repro.errors import ConfigError
+from repro.predict.table import HistoryTablePredictor
+from repro.sim.runner import run_workload, with_policy
+
+STATIC = 180
+
+
+@pytest.fixture
+def policy(circuit45):
+    config = GatingConfig(policy="mapg_adaptive")
+    analyzer = BreakEvenAnalyzer(circuit45, config)
+    return AdaptiveMapgPolicy(
+        analyzer, HistoryTablePredictor(initial_cycles=STATIC), config, STATIC)
+
+
+def plan(penalty=0, idle=0):
+    return WakeupPlan(drain=14, sleep=100, wake=17,
+                      idle_awake=idle, penalty=penalty)
+
+
+class TestBiasAdaptation:
+    def test_starts_at_configured_margin(self, policy):
+        assert policy.bias_cycles == policy.config.early_margin_cycles
+
+    def test_late_wake_increases_bias(self, policy):
+        before = policy.bias_cycles
+        policy.feedback(plan(penalty=10))
+        assert policy.bias_cycles == before + policy._INCREASE_CYCLES
+
+    def test_bias_capped(self, policy):
+        for __ in range(100):
+            policy.feedback(plan(penalty=10))
+        assert policy.bias_cycles == policy._BIAS_CAP_CYCLES
+
+    def test_long_idle_decays_bias(self, policy):
+        policy.feedback(plan(penalty=10))
+        policy.feedback(plan(penalty=10))
+        inflated = policy.bias_cycles
+        for __ in range(20):
+            policy.feedback(plan(idle=100))
+        assert policy.bias_cycles < inflated
+
+    def test_on_target_wake_leaves_bias_alone(self, policy):
+        before = policy.bias_cycles
+        policy.feedback(plan(penalty=0, idle=5))
+        assert policy.bias_cycles == before
+
+    def test_feedback_requires_plan(self, policy):
+        with pytest.raises(ConfigError):
+            policy.feedback("not a plan")
+
+    def test_decision_uses_adapted_bias(self, policy):
+        for __ in range(10):
+            policy.observe(0x400000, 0, 300)
+        offset_before = policy.decide(0x400000, 0, 300).planned_wake_offset
+        for __ in range(5):
+            policy.feedback(plan(penalty=10))
+        offset_after = policy.decide(0x400000, 0, 300).planned_wake_offset
+        assert offset_after < offset_before  # wakes earlier now
+
+
+class TestEndToEnd:
+    def test_adaptive_policy_runs_and_performs(self):
+        config = SystemConfig()
+        base = run_workload(with_policy(config, "never"), "mcf_like", 3000, seed=7)
+        fixed = run_workload(with_policy(config, "mapg"), "mcf_like", 3000, seed=7)
+        adaptive = run_workload(with_policy(config, "mapg_adaptive"),
+                                "mcf_like", 3000, seed=7)
+        delta = adaptive.compare(base)
+        delta_fixed = fixed.compare(base)
+        assert delta.energy_saving > 0.0
+        # Stays in the same performance class as stock MAPG.
+        assert delta.performance_penalty < delta_fixed.performance_penalty + 0.02
+
+    def test_adaptive_accepted_by_config(self):
+        assert GatingConfig(policy="mapg_adaptive").policy == "mapg_adaptive"

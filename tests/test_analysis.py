@@ -1,0 +1,111 @@
+"""Tests for tables, reports, and cross-run aggregation."""
+
+import pytest
+
+from repro.analysis.energy import (
+    geomean_edp_ratio,
+    mean_energy_saving,
+    mean_penalty,
+    summarize_comparisons,
+)
+from repro.analysis.report import ExperimentReport
+from repro.analysis.tables import format_fraction_pct, format_table
+from repro.errors import SimulationError
+from repro.sim.results import ComparisonResult, SimulationResult
+
+
+def make_result(workload, policy, cycles, energy, penalty=0):
+    return SimulationResult(
+        workload=workload, policy=policy, instructions=1000,
+        total_cycles=cycles, penalty_cycles=penalty, energy_j=energy,
+        event_energy_j=0.0, event_count=0)
+
+
+class TestFormatting:
+    def test_fraction_pct(self):
+        assert format_fraction_pct(0.1234) == "12.3 %"
+        assert format_fraction_pct(0.1234, precision=2) == "12.34 %"
+
+    def test_table_alignment(self):
+        table = format_table(["name", "value"],
+                             [["alpha", "1.5"], ["b", "22.0"]])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        # Numeric column right-aligns.
+        assert lines[2].endswith("1.5")
+        assert lines[3].endswith("22.0")
+
+    def test_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_table_title(self):
+        table = format_table(["a"], [["1"]], title="My Table")
+        assert table.splitlines()[0] == "My Table"
+
+    def test_empty_body(self):
+        table = format_table(["a", "b"], [])
+        assert len(table.splitlines()) == 2
+
+
+class TestReport:
+    def test_render_contains_id_and_rows(self):
+        report = ExperimentReport("F2", "Policy comparison",
+                                  headers=["workload", "saving"])
+        report.add_row("mcf_like", "25.0 %")
+        report.add_note("MAPG recovers most of oracle")
+        text = report.render()
+        assert "[F2]" in text
+        assert "mcf_like" in text
+        assert "note: MAPG" in text
+
+    def test_str_is_render(self):
+        report = ExperimentReport("T1", "Config", headers=["k", "v"])
+        assert str(report) == report.render()
+
+
+class TestSummarize:
+    def matrix(self):
+        return {
+            "mcf_like": {
+                "never": make_result("mcf_like", "never", 1000, 2.0),
+                "mapg": make_result("mcf_like", "mapg", 1020, 1.5, penalty=20),
+                "naive": make_result("mcf_like", "naive", 1100, 1.6, penalty=100),
+            },
+            "gcc_like": {
+                "never": make_result("gcc_like", "never", 1000, 1.0),
+                "mapg": make_result("gcc_like", "mapg", 1010, 0.9, penalty=10),
+                "naive": make_result("gcc_like", "naive", 1050, 0.95, penalty=50),
+            },
+        }
+
+    def test_summary_excludes_baseline(self):
+        comparisons = summarize_comparisons(self.matrix())
+        assert set(comparisons) == {"mapg", "naive"}
+        assert len(comparisons["mapg"]) == 2
+
+    def test_missing_baseline_rejected(self):
+        matrix = self.matrix()
+        del matrix["mcf_like"]["never"]
+        with pytest.raises(SimulationError):
+            summarize_comparisons(matrix)
+
+    def test_mean_saving_and_penalty(self):
+        comparisons = summarize_comparisons(self.matrix())["mapg"]
+        assert mean_energy_saving(comparisons) == pytest.approx(
+            ((1 - 1.5 / 2.0) + (1 - 0.9 / 1.0)) / 2)
+        assert mean_penalty(comparisons) == pytest.approx(
+            ((1020 / 1000 - 1) + (1010 / 1000 - 1)) / 2)
+
+    def test_geomean_edp(self):
+        comparisons = summarize_comparisons(self.matrix())["mapg"]
+        value = geomean_edp_ratio(comparisons)
+        assert 0.0 < value < 1.0
+
+    def test_empty_comparisons_rejected(self):
+        with pytest.raises(SimulationError):
+            mean_energy_saving([])
+        with pytest.raises(SimulationError):
+            mean_penalty([])
+        with pytest.raises(SimulationError):
+            geomean_edp_ratio([])

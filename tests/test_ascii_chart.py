@@ -1,0 +1,110 @@
+"""Tests for the terminal chart helpers and timeline recording."""
+
+import pytest
+
+from repro.analysis.ascii_chart import bar_chart, sparkline, timeline_row
+from repro.config import SystemConfig
+from repro.sim.runner import with_policy
+from repro.sim.simulator import Simulator
+from repro.workloads import generate_trace
+
+
+class TestBarChart:
+    def test_longest_bar_belongs_to_largest_value(self):
+        chart = bar_chart(["a", "b"], [10.0, 100.0])
+        lines = chart.splitlines()
+        assert lines[1].count("#") > lines[0].count("#")
+
+    def test_values_printed(self):
+        chart = bar_chart(["x"], [42.0], unit=" W")
+        assert "42 W" in chart
+
+    def test_title(self):
+        chart = bar_chart(["x"], [1.0], title="My Chart")
+        assert chart.splitlines()[0] == "My Chart"
+
+    def test_negative_values_draw_left_of_axis(self):
+        chart = bar_chart(["gain", "loss"], [5.0, -5.0])
+        gain_line, loss_line = chart.splitlines()
+        assert gain_line.index("|") < gain_line.index("#")
+        assert loss_line.index("#") < loss_line.index("|")
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+
+    def test_all_zero_values_no_crash(self):
+        chart = bar_chart(["a", "b"], [0.0, 0.0])
+        assert "#" not in chart
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_input_monotone_glyphs(self):
+        line = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        assert list(line) == sorted(line)
+
+    def test_constant_input(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestTimelineRow:
+    def test_proportional_widths(self):
+        row = timeline_row([("sleep", 90), ("wake", 10)], width=100,
+                           glyphs={"sleep": "S", "wake": "W"})
+        assert row.count("S") > 5 * row.count("W")
+
+    def test_short_segments_still_visible(self):
+        row = timeline_row([("drain", 1), ("sleep", 999)], width=40,
+                           glyphs={"drain": "D", "sleep": "S"})
+        assert "D" in row
+
+    def test_unmapped_state_uses_first_letter(self):
+        row = timeline_row([("stall", 10)], width=10)
+        assert set(row) == {"s"}
+
+    def test_zero_length_segments_skipped(self):
+        row = timeline_row([("a", 0), ("b", 10)], width=10)
+        assert "a" not in row
+
+    def test_empty_and_invalid(self):
+        assert timeline_row([]) == ""
+        with pytest.raises(ValueError):
+            timeline_row([("a", -1)])
+
+
+class TestTimelineRecording:
+    def test_disabled_by_default(self):
+        simulator = Simulator(with_policy(SystemConfig(), "mapg"))
+        simulator.run(generate_trace("gcc_like", 300, seed=1))
+        assert simulator.timeline == []
+
+    def test_records_every_offchip_stall(self):
+        simulator = Simulator(with_policy(SystemConfig(), "mapg"),
+                              record_timeline=True)
+        result = simulator.run(generate_trace("gcc_like", 300, seed=1))
+        assert len(simulator.timeline) == result.offchip_stalls
+
+    def test_event_intervals_tile_stall_plus_penalty(self):
+        simulator = Simulator(with_policy(SystemConfig(), "naive"),
+                              record_timeline=True)
+        simulator.run(generate_trace("mcf_like", 300, seed=1))
+        for event in simulator.timeline:
+            tiled = sum(cycles for __, cycles in event.intervals)
+            assert tiled == event.stall_cycles + event.penalty_cycles
+
+    def test_ungated_events_marked(self):
+        simulator = Simulator(with_policy(SystemConfig(), "never"),
+                              record_timeline=True)
+        simulator.run(generate_trace("gcc_like", 300, seed=1))
+        assert all(not event.gated for event in simulator.timeline)
+        assert all(event.mode == "" for event in simulator.timeline)

@@ -1,0 +1,130 @@
+"""Tests for the MAPG controller: outcome tiling and accounting."""
+
+import pytest
+
+from repro.config import GatingConfig, TokenConfig
+from repro.core.breakeven import BreakEvenAnalyzer
+from repro.core.controller import MapgController
+from repro.core.policies import NaivePolicy, NeverPolicy, OraclePolicy
+from repro.core.token import TokenArbiter
+from repro.errors import SimulationError
+from repro.power.model import CorePowerModel, PowerState
+
+
+@pytest.fixture
+def analyzer(circuit45):
+    return BreakEvenAnalyzer(circuit45, GatingConfig())
+
+
+def make_controller(policy_cls, analyzer, power_model, **kwargs):
+    return MapgController(policy_cls(analyzer), analyzer, power_model, **kwargs)
+
+
+class TestUngated:
+    def test_stall_becomes_single_stall_interval(self, analyzer, power_model):
+        controller = make_controller(NeverPolicy, analyzer, power_model)
+        outcome = controller.process_stall(pc=0, bank=0, actual_stall_cycles=200)
+        assert not outcome.gated
+        assert outcome.intervals == ((PowerState.STALL, 200),)
+        assert outcome.penalty_cycles == 0
+        assert outcome.event_energy_j == 0.0
+
+    def test_zero_length_stall(self, analyzer, power_model):
+        controller = make_controller(NeverPolicy, analyzer, power_model)
+        outcome = controller.process_stall(pc=0, bank=0, actual_stall_cycles=0)
+        assert outcome.intervals == ()
+
+    def test_negative_stall_rejected(self, analyzer, power_model):
+        controller = make_controller(NeverPolicy, analyzer, power_model)
+        with pytest.raises(SimulationError):
+            controller.process_stall(pc=0, bank=0, actual_stall_cycles=-1)
+
+
+class TestGatedNaive:
+    def test_tiling_includes_wake_penalty(self, analyzer, power_model):
+        controller = make_controller(NaivePolicy, analyzer, power_model)
+        stall = 200
+        outcome = controller.process_stall(pc=0, bank=0, actual_stall_cycles=stall)
+        assert outcome.gated and not outcome.aborted
+        assert outcome.penalty_cycles == analyzer.wake_cycles
+        assert outcome.total_cycles == stall + analyzer.wake_cycles
+        states = [state for state, __ in outcome.intervals]
+        assert states == [PowerState.DRAIN, PowerState.SLEEP, PowerState.WAKE]
+
+    def test_event_energy_charged(self, analyzer, power_model):
+        controller = make_controller(NaivePolicy, analyzer, power_model)
+        outcome = controller.process_stall(pc=0, bank=0, actual_stall_cycles=200)
+        assert outcome.event_energy_j > 0.0
+
+    def test_short_stall_aborts_without_event_energy(self, analyzer, power_model):
+        controller = make_controller(NaivePolicy, analyzer, power_model)
+        stall = analyzer.drain_cycles - 2
+        outcome = controller.process_stall(pc=0, bank=0, actual_stall_cycles=stall)
+        assert outcome.aborted
+        assert outcome.event_energy_j == 0.0
+        assert outcome.intervals == ((PowerState.DRAIN, stall),)
+        assert controller.counters.get("aborted") == 1
+
+
+class TestGatedOracle:
+    def test_oracle_never_pays_penalty(self, analyzer, power_model):
+        controller = make_controller(OraclePolicy, analyzer, power_model)
+        for stall in (150, 300, 1000):
+            outcome = controller.process_stall(pc=0, bank=0,
+                                               actual_stall_cycles=stall)
+            assert outcome.penalty_cycles == 0
+            assert outcome.total_cycles == stall
+
+    def test_oracle_skips_unprofitable(self, analyzer, power_model):
+        controller = make_controller(OraclePolicy, analyzer, power_model)
+        outcome = controller.process_stall(
+            pc=0, bank=0, actual_stall_cycles=analyzer.drain_cycles + 2)
+        assert not outcome.gated
+
+
+class TestCounters:
+    def test_gate_rate(self, analyzer, power_model):
+        controller = make_controller(OraclePolicy, analyzer, power_model)
+        controller.process_stall(pc=0, bank=0, actual_stall_cycles=500)
+        controller.process_stall(pc=0, bank=0, actual_stall_cycles=5)
+        assert controller.gate_rate == pytest.approx(0.5)
+
+    def test_sleep_and_penalty_counters(self, analyzer, power_model):
+        controller = make_controller(NaivePolicy, analyzer, power_model)
+        controller.process_stall(pc=0, bank=0, actual_stall_cycles=200)
+        assert controller.counters.get("sleep_cycles") == 200 - analyzer.drain_cycles
+        assert controller.counters.get("penalty_cycles") == analyzer.wake_cycles
+
+    def test_prediction_error_tracked(self, analyzer, power_model):
+        controller = make_controller(OraclePolicy, analyzer, power_model)
+        controller.process_stall(pc=0, bank=0, actual_stall_cycles=300)
+        # Oracle predicts perfectly.
+        assert controller.mean_absolute_prediction_error == 0.0
+
+
+class TestTokenIntegration:
+    def test_token_delay_appears_in_outcome(self, analyzer, power_model):
+        arbiter = TokenArbiter(TokenConfig(enabled=True, wake_tokens=1))
+        first = MapgController(NaivePolicy(analyzer), analyzer, power_model,
+                               token_arbiter=arbiter, core_id=0)
+        second = MapgController(NaivePolicy(analyzer), analyzer, power_model,
+                                token_arbiter=arbiter, core_id=1)
+        stall = 200
+        # Both stalls trigger wakes at the same cycle; the second must wait
+        # for the token held through the first's wake.
+        out1 = first.process_stall(pc=0, bank=0, actual_stall_cycles=stall,
+                                   start_cycle=0)
+        out2 = second.process_stall(pc=0, bank=0, actual_stall_cycles=stall,
+                                    start_cycle=0)
+        assert out1.penalty_cycles == analyzer.wake_cycles
+        assert out2.penalty_cycles == analyzer.wake_cycles * 2
+        assert out2.plan.token_wait == analyzer.wake_cycles
+        assert second.counters.get("token_delays") == 1
+
+    def test_abort_does_not_request_token(self, analyzer, power_model):
+        arbiter = TokenArbiter(TokenConfig(enabled=True, wake_tokens=1))
+        controller = MapgController(NaivePolicy(analyzer), analyzer, power_model,
+                                    token_arbiter=arbiter)
+        controller.process_stall(pc=0, bank=0,
+                                 actual_stall_cycles=analyzer.drain_cycles - 1)
+        assert arbiter.counters.get("requests") == 0

@@ -1,0 +1,138 @@
+"""Tests for the trace-driven core timing model."""
+
+import pytest
+
+from repro.config import CacheConfig, CoreConfig, DramConfig
+from repro.cpu.core import BusySegment, Core, StallSegment
+from repro.errors import SimulationError
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.trace.format import ComputeBlock, MemoryAccess
+
+
+def make_core(issue_width=1, mlp_overlap=0.0):
+    config = CoreConfig(issue_width=issue_width, mlp_overlap=mlp_overlap)
+    l1 = CacheConfig(name="L1D", size_bytes=1024, line_bytes=64,
+                     associativity=2, hit_latency_cycles=2, mshr_entries=4)
+    l2 = CacheConfig(name="L2", size_bytes=4096, line_bytes=64,
+                     associativity=4, hit_latency_cycles=10, mshr_entries=4)
+    hierarchy = MemoryHierarchy(l1, l2, DramConfig(refresh_latency_ns=0.0),
+                                config.frequency_hz)
+    return Core(config, hierarchy)
+
+
+class TestComputeBlocks:
+    def test_pure_compute_is_one_busy_segment(self):
+        core = make_core()
+        segments = list(core.segments([ComputeBlock(100)]))
+        assert segments == [BusySegment(100)]
+        assert core.counters.get("instructions") == 100
+
+    def test_issue_width_divides_compute_time(self):
+        core = make_core(issue_width=4)
+        segments = list(core.segments([ComputeBlock(100)]))
+        assert segments == [BusySegment(25)]
+
+    def test_issue_width_rounds_up(self):
+        core = make_core(issue_width=4)
+        segments = list(core.segments([ComputeBlock(10)]))
+        assert segments == [BusySegment(3)]
+
+    def test_consecutive_blocks_coalesce(self):
+        core = make_core()
+        segments = list(core.segments([ComputeBlock(10), ComputeBlock(20)]))
+        assert segments == [BusySegment(30)]
+
+
+class TestMemoryClassification:
+    def test_l1_hit_is_pipelined_into_busy(self):
+        core = make_core()
+        warm = [MemoryAccess(0x1000), ComputeBlock(5), MemoryAccess(0x1000)]
+        segments = list(core.segments(warm))
+        # miss (stall), then busy covering compute + the hitting access.
+        assert isinstance(segments[0], BusySegment)   # the first issue cycle
+        assert isinstance(segments[1], StallSegment)
+        assert segments[1].off_chip
+        assert isinstance(segments[2], BusySegment)
+        assert segments[2].cycles == 5 + 1  # compute + pipelined L1 hit
+
+    def test_offchip_stall_reports_pc_and_bank(self):
+        core = make_core()
+        segments = list(core.segments([MemoryAccess(0x2000, pc=0x400040)]))
+        stall = segments[1]
+        assert isinstance(stall, StallSegment)
+        assert stall.pc == 0x400040
+        assert stall.bank >= 0
+        assert stall.dram_kind is not None
+
+    def test_onchip_stall_flagged_not_offchip(self):
+        core = make_core()
+        # Force an L2 hit: fill, evict from L1 via set conflicts, re-access.
+        ops = [MemoryAccess(0x0000), MemoryAccess(0x0200),
+               MemoryAccess(0x0400), MemoryAccess(0x0000)]
+        segments = [s for s in core.segments(ops) if isinstance(s, StallSegment)]
+        assert not segments[-1].off_chip
+        assert segments[-1].dram_kind is None
+
+    def test_merged_stall_marked(self):
+        core = make_core()
+        # Two accesses to the same line back-to-back: the core stalls on the
+        # first; the second issues one cycle after the stall ends, while the
+        # L1 fill's hit-latency tail is still in flight, so it merges into
+        # the MSHR entry with a tiny on-chip residual.
+        ops = [MemoryAccess(0x3000), MemoryAccess(0x3000)]
+        stalls = [s for s in core.segments(ops) if isinstance(s, StallSegment)]
+        assert stalls[0].off_chip and not stalls[0].merged
+        assert stalls[1].merged and not stalls[1].off_chip
+        assert stalls[1].cycles <= 2  # only the fill tail remains
+
+    def test_cycle_counter_advances(self):
+        core = make_core()
+        list(core.segments([ComputeBlock(10), MemoryAccess(0x1000)]))
+        assert core.cycle > 10
+
+
+class TestMlpOverlap:
+    def test_mlp_zero_keeps_full_stalls(self):
+        core = make_core(mlp_overlap=0.0)
+        ops = [MemoryAccess(0x1000), MemoryAccess(0x9000)]
+        stalls = [s for s in core.segments(ops) if isinstance(s, StallSegment)]
+        assert len(stalls) == 2
+
+    def test_mlp_overlap_shortens_adjacent_stall(self):
+        ops = [MemoryAccess(0x1000), MemoryAccess(0x9000)]
+        blocking = make_core(mlp_overlap=0.0)
+        overlapped = make_core(mlp_overlap=0.5)
+        stalls_blocking = [s.cycles for s in blocking.segments(ops)
+                           if isinstance(s, StallSegment)]
+        stalls_overlap = [s.cycles for s in overlapped.segments(ops)
+                          if isinstance(s, StallSegment)]
+        assert stalls_overlap[1] < stalls_blocking[1]
+
+    def test_mlp_gap_too_large_no_overlap(self):
+        ops = [MemoryAccess(0x1000), ComputeBlock(100), MemoryAccess(0x9000)]
+        overlapped = make_core(mlp_overlap=0.9)
+        blocking = make_core(mlp_overlap=0.0)
+        stalls_overlap = [s.cycles for s in overlapped.segments(ops)
+                          if isinstance(s, StallSegment)]
+        stalls_blocking = [s.cycles for s in blocking.segments(ops)
+                           if isinstance(s, StallSegment)]
+        assert stalls_overlap[-1] == stalls_blocking[-1]
+
+
+class TestDelays:
+    def test_add_delay_advances_clock(self):
+        core = make_core()
+        list(core.segments([ComputeBlock(10)]))
+        before = core.cycle
+        core.add_delay(25)
+        assert core.cycle == before + 25
+
+    def test_add_negative_delay_rejected(self):
+        core = make_core()
+        with pytest.raises(SimulationError):
+            core.add_delay(-1)
+
+    def test_unknown_op_rejected(self):
+        core = make_core()
+        with pytest.raises(SimulationError):
+            list(core.segments([object()]))

@@ -1,0 +1,47 @@
+"""Algebra-vs-event-model cross-check of the wakeup timeline.
+
+Two independent implementations — the closed-form algebra in
+``repro.core.wakeup`` and the event-driven model in
+``repro.core.crosscheck`` — must agree on every field of the realized
+timeline for all inputs.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.crosscheck import resolve_by_events
+from repro.core.wakeup import resolve_wakeup
+
+
+@given(
+    stall=st.integers(min_value=0, max_value=5000),
+    drain=st.integers(min_value=0, max_value=100),
+    wake=st.integers(min_value=0, max_value=100),
+    offset_slack=st.one_of(st.none(), st.integers(min_value=0, max_value=5000)),
+    token_delay=st.integers(min_value=0, max_value=200),
+)
+@settings(max_examples=300, deadline=None)
+def test_event_model_matches_algebra(stall, drain, wake, offset_slack,
+                                     token_delay):
+    offset = None if offset_slack is None else drain + offset_slack
+    algebraic = resolve_wakeup(stall, drain, wake, offset, token_delay)
+    event_driven = resolve_by_events(stall, drain, wake, offset, token_delay)
+    assert event_driven == algebraic
+
+
+@given(
+    stall=st.integers(min_value=0, max_value=2000),
+    drain=st.integers(min_value=0, max_value=60),
+    wake=st.integers(min_value=0, max_value=60),
+)
+def test_naive_case_matches(stall, drain, wake):
+    assert resolve_by_events(stall, drain, wake, None) == \
+        resolve_wakeup(stall, drain, wake, None)
+
+
+def test_exact_prediction_case():
+    stall, drain, wake = 200, 14, 17
+    plan = resolve_by_events(stall, drain, wake, stall - wake)
+    assert plan.penalty == 0
+    assert plan.idle_awake == 0
+    assert plan.total == stall

@@ -1,0 +1,47 @@
+"""Documentation executable-ness: README code must actually run.
+
+Extracts every fenced python block from README.md and executes it; a
+drifting API breaks this test before it breaks a user.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+README = Path(__file__).parent.parent / "README.md"
+
+
+def python_blocks():
+    text = README.read_text(encoding="utf-8")
+    return re.findall(r"```python\n(.*?)```", text, re.S)
+
+
+def test_readme_has_python_examples():
+    assert len(python_blocks()) >= 1
+
+
+@pytest.mark.parametrize("index,block", list(enumerate(python_blocks())))
+def test_readme_python_blocks_execute(index, block):
+    # Shrink any num_ops literals so the doc snippet runs fast under test.
+    fast = re.sub(r"num_ops=\d[\d_]*", "num_ops=2_000", block)
+    namespace: dict = {}
+    exec(compile(fast, f"README.md#block{index}", "exec"), namespace)
+
+
+def test_readme_mentions_every_top_level_doc():
+    text = README.read_text(encoding="utf-8")
+    for doc in ("DESIGN.md", "EXPERIMENTS.md"):
+        assert doc in text
+
+
+def test_experiment_ids_in_experiments_md_resolve_to_results():
+    """Every ledger row's id has an archived result (after a bench run)."""
+    results_dir = Path(__file__).parent.parent / "benchmarks" / "results"
+    if not results_dir.exists():
+        pytest.skip("benchmarks not yet run in this checkout")
+    ledger = (Path(__file__).parent.parent / "EXPERIMENTS.md").read_text()
+    ids = set(re.findall(r"^\| (T\d+|F\d+) \|", ledger, re.M))
+    missing = [i for i in sorted(ids)
+               if not (results_dir / f"{i.lower()}.txt").exists()]
+    assert not missing, f"ledger rows without archived results: {missing}"

@@ -1,0 +1,91 @@
+"""Tests for the memory-aware DVFS evaluation model."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import ConfigError
+from repro.power.dvfs import DvfsModel, sweep
+from repro.sim.runner import run_workload, with_policy
+from repro.sim.simulator import Simulator
+
+
+@pytest.fixture(scope="module")
+def never_run():
+    return run_workload(with_policy(SystemConfig(), "never"),
+                        "mcf_like", 3000, seed=9)
+
+
+@pytest.fixture(scope="module")
+def mapg_run():
+    return run_workload(with_policy(SystemConfig(), "mapg"),
+                        "mcf_like", 3000, seed=9)
+
+
+@pytest.fixture(scope="module")
+def model():
+    simulator = Simulator(with_policy(SystemConfig(), "never"))
+    return DvfsModel(simulator.power_model)
+
+
+class TestIdentityPoint:
+    def test_r1_reproduces_simulated_energy(self, model, never_run):
+        point = model.evaluate(never_run, 1.0)
+        assert point.energy_j == pytest.approx(never_run.energy_j, rel=1e-9)
+
+    def test_r1_reproduces_simulated_time(self, model, never_run):
+        point = model.evaluate(never_run, 1.0)
+        expected = never_run.total_cycles / model.power_model.circuit.frequency_hz
+        assert point.time_s == pytest.approx(expected, rel=1e-9)
+
+    def test_r1_on_gated_run_too(self, model, mapg_run):
+        point = model.evaluate(mapg_run, 1.0)
+        assert point.energy_j == pytest.approx(mapg_run.energy_j, rel=1e-9)
+
+
+class TestScalingShape:
+    def test_lower_frequency_longer_runtime(self, model, never_run):
+        times = [model.evaluate(never_run, r).time_s for r in (1.0, 0.7, 0.5)]
+        assert times == sorted(times)
+
+    def test_memory_bound_runtime_stretch_is_sublinear(self, model, never_run):
+        """A 2x slowdown in clock must stretch an mcf-like run far less
+        than 2x — most of its wall clock is memory time."""
+        base = model.evaluate(never_run, 1.0)
+        half = model.evaluate(never_run, 0.5)
+        assert half.time_s < 1.3 * base.time_s
+
+    def test_dvfs_saves_core_energy_on_memory_bound(self, model, never_run):
+        base = model.evaluate(never_run, 1.0)
+        slow = model.evaluate(never_run, 0.6)
+        assert slow.energy_j < base.energy_j
+
+    def test_voltage_floor_respected(self, model):
+        assert model.relative_voltage(1.0) == pytest.approx(1.0)
+        assert model.relative_voltage(0.01) == pytest.approx(
+            model.voltage_floor, abs=0.01)
+
+    def test_combined_beats_either_alone(self, model, never_run, mapg_run):
+        """MAPG (leakage) + DVFS (dynamic) stack on a memory-bound run."""
+        dvfs_only = model.evaluate(never_run, 0.6).energy_j
+        mapg_only = model.evaluate(mapg_run, 1.0).energy_j
+        combined = model.evaluate(mapg_run, 0.6).energy_j
+        assert combined < dvfs_only
+        assert combined < mapg_only
+
+
+class TestValidation:
+    def test_rejects_out_of_range_frequency(self, model, never_run):
+        with pytest.raises(ConfigError):
+            model.evaluate(never_run, 0.0)
+        with pytest.raises(ConfigError):
+            model.evaluate(never_run, 1.5)
+
+    def test_rejects_bad_floor(self):
+        simulator = Simulator(with_policy(SystemConfig(), "never"))
+        with pytest.raises(ConfigError):
+            DvfsModel(simulator.power_model, voltage_floor=0.0)
+
+    def test_sweep_returns_point_per_frequency(self, model, never_run):
+        points = sweep(model, never_run, [1.0, 0.8, 0.6])
+        assert [p.relative_frequency for p in points] == [1.0, 0.8, 0.6]
+        assert all(p.edp() > 0 for p in points)

@@ -1,0 +1,92 @@
+"""Tests for the energy ledger."""
+
+import pytest
+
+from repro.core.energy import EnergyLedger
+from repro.errors import SimulationError
+from repro.power.model import PowerState
+
+
+class TestIntervals:
+    def test_interval_energy_matches_power_model(self, power_model):
+        ledger = EnergyLedger(power_model)
+        ledger.add_interval(PowerState.ACTIVE, 1000)
+        expected = power_model.interval_energy_j(PowerState.ACTIVE, 1000)
+        assert ledger.energy_in_j(PowerState.ACTIVE) == pytest.approx(expected)
+
+    def test_total_cycles_sums_states(self, power_model):
+        ledger = EnergyLedger(power_model)
+        ledger.add_interval(PowerState.ACTIVE, 100)
+        ledger.add_interval(PowerState.SLEEP, 50)
+        assert ledger.total_cycles == 150
+
+    def test_zero_cycles_noop(self, power_model):
+        ledger = EnergyLedger(power_model)
+        ledger.add_interval(PowerState.ACTIVE, 0)
+        assert ledger.total_cycles == 0
+
+    def test_negative_cycles_rejected(self, power_model):
+        ledger = EnergyLedger(power_model)
+        with pytest.raises(SimulationError):
+            ledger.add_interval(PowerState.ACTIVE, -1)
+
+    def test_sleep_cheaper_than_stall(self, power_model):
+        ledger = EnergyLedger(power_model)
+        ledger.add_interval(PowerState.STALL, 1000)
+        ledger.add_interval(PowerState.SLEEP, 1000)
+        assert ledger.energy_in_j(PowerState.SLEEP) < \
+            0.05 * ledger.energy_in_j(PowerState.STALL)
+
+
+class TestEvents:
+    def test_event_energy_accumulates(self, power_model):
+        ledger = EnergyLedger(power_model)
+        ledger.add_event(1e-9)
+        ledger.add_event(2e-9)
+        assert ledger.event_energy_j == pytest.approx(3e-9)
+        assert ledger.event_count == 2
+
+    def test_negative_event_rejected(self, power_model):
+        ledger = EnergyLedger(power_model)
+        with pytest.raises(SimulationError):
+            ledger.add_event(-1e-9)
+
+
+class TestBackground:
+    def test_background_scales_with_total_time(self, power_model):
+        ledger = EnergyLedger(power_model)
+        ledger.add_interval(PowerState.SLEEP, 2_000_000)
+        seconds = 2_000_000 / power_model.circuit.frequency_hz
+        assert ledger.background_energy_j == pytest.approx(
+            power_model.background_power_w * seconds)
+
+    def test_total_includes_background_and_events(self, power_model):
+        ledger = EnergyLedger(power_model)
+        ledger.add_interval(PowerState.ACTIVE, 1000)
+        ledger.add_event(5e-9)
+        expected = (ledger.energy_in_j(PowerState.ACTIVE)
+                    + ledger.background_energy_j + 5e-9)
+        assert ledger.total_energy_j == pytest.approx(expected)
+
+    def test_state_energy_report_includes_background(self, power_model):
+        ledger = EnergyLedger(power_model)
+        ledger.add_interval(PowerState.ACTIVE, 10)
+        assert "background" in ledger.state_energy()
+
+
+class TestMerge:
+    def test_merge_sums_everything(self, power_model):
+        a, b = EnergyLedger(power_model), EnergyLedger(power_model)
+        a.add_interval(PowerState.ACTIVE, 100)
+        b.add_interval(PowerState.ACTIVE, 50)
+        b.add_interval(PowerState.SLEEP, 30)
+        b.add_event(1e-9)
+        a.merge(b)
+        assert a.cycles_in(PowerState.ACTIVE) == 150
+        assert a.cycles_in(PowerState.SLEEP) == 30
+        assert a.event_count == 1
+
+    def test_state_cycles_report_omits_empty_states(self, power_model):
+        ledger = EnergyLedger(power_model)
+        ledger.add_interval(PowerState.ACTIVE, 10)
+        assert set(ledger.state_cycles()) == {"active"}

@@ -1,0 +1,145 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.events import EventQueue
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(30, fired.append, "c")
+        queue.schedule(10, fired.append, "a")
+        queue.schedule(20, fired.append, "b")
+        queue.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_events_fire_in_schedule_order(self):
+        queue = EventQueue()
+        fired = []
+        for tag in ("first", "second", "third"):
+            queue.schedule(5, fired.append, tag)
+        queue.run()
+        assert fired == ["first", "second", "third"]
+
+    def test_now_advances_to_event_time(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule(42, lambda: seen.append(queue.now))
+        queue.run()
+        assert seen == [42]
+        assert queue.now == 42
+
+    def test_schedule_at_absolute_time(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule_at(100, fired.append, "x")
+        queue.run()
+        assert fired == ["x"]
+        assert queue.now == 100
+
+    def test_negative_delay_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(SimulationError):
+            queue.schedule(-1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        queue = EventQueue()
+        queue.schedule(10, lambda: None)
+        queue.run()
+        with pytest.raises(SimulationError):
+            queue.schedule_at(5, lambda: None)
+
+    def test_events_scheduled_during_run_fire(self):
+        queue = EventQueue()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                queue.schedule(10, chain, n + 1)
+
+        queue.schedule(0, chain, 0)
+        queue.run()
+        assert fired == [0, 1, 2, 3]
+        assert queue.now == 30
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        queue = EventQueue()
+        fired = []
+        handle = queue.schedule(10, fired.append, "no")
+        queue.schedule(20, fired.append, "yes")
+        handle.cancel()
+        queue.run()
+        assert fired == ["yes"]
+
+    def test_cancel_is_idempotent(self):
+        queue = EventQueue()
+        handle = queue.schedule(10, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert queue.run() == 0
+
+    def test_len_excludes_cancelled(self):
+        queue = EventQueue()
+        handle = queue.schedule(10, lambda: None)
+        queue.schedule(20, lambda: None)
+        handle.cancel()
+        assert len(queue) == 1
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        handle = queue.schedule(10, lambda: None)
+        queue.schedule(20, lambda: None)
+        handle.cancel()
+        assert queue.peek_time() == 20
+
+
+class TestRunUntil:
+    def test_run_until_stops_at_boundary(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(10, fired.append, "early")
+        queue.schedule(30, fired.append, "late")
+        queue.run_until(20)
+        assert fired == ["early"]
+        assert queue.now == 20
+
+    def test_run_until_inclusive(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(20, fired.append, "at")
+        queue.run_until(20)
+        assert fired == ["at"]
+
+    def test_advance_moves_clock_even_without_events(self):
+        queue = EventQueue()
+        queue.advance(15)
+        assert queue.now == 15
+
+    def test_advance_negative_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(SimulationError):
+            queue.advance(-1)
+
+
+class TestRunawayGuard:
+    def test_self_rescheduling_loop_detected(self):
+        queue = EventQueue()
+
+        def rearm():
+            queue.schedule(1, rearm)
+
+        queue.schedule(0, rearm)
+        with pytest.raises(SimulationError):
+            queue.run(max_events=100)
+
+    def test_run_returns_event_count(self):
+        queue = EventQueue()
+        for delay in range(5):
+            queue.schedule(delay, lambda: None)
+        assert queue.run() == 5

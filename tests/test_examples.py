@@ -1,0 +1,78 @@
+"""Smoke tests: every example must run to completion and print its story.
+
+Run in-process (runpy) with controlled argv so failures produce real
+tracebacks; sizes are kept small through the examples' own CLI arguments
+where they have them.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(script, argv, capsys):
+    old_argv = sys.argv
+    sys.argv = [str(EXAMPLES / script)] + argv
+    try:
+        runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", [], capsys)
+    assert "energy saving" in out
+    assert "where the cycles went" in out
+
+
+def test_policy_comparison(capsys):
+    out = run_example("policy_comparison.py", ["1500"], capsys)
+    assert "mapg" in out and "oracle" in out
+    assert "EDP ratio" in out
+
+
+def test_breakeven_explorer(capsys):
+    out = run_example("breakeven_explorer.py", ["32nm", "110"], capsys)
+    assert "break-even time" in out
+    assert "WORTH GATING" in out
+
+
+def test_latency_prediction(capsys):
+    out = run_example("latency_prediction.py", ["gcc_like"], capsys)
+    assert "prediction accuracy" in out
+    assert "table" in out
+
+
+def test_multicore_tokens(capsys):
+    out = run_example("multicore_tokens.py", [], capsys)
+    assert "wake tokens" in out
+    assert "deferred" in out
+
+
+def test_gating_timeline(capsys):
+    out = run_example("gating_timeline.py", ["gcc_like", "mapg"], capsys)
+    assert "legend" in out
+    assert "cycle budget by power state" in out
+
+
+def test_rush_waveform(capsys):
+    out = run_example("rush_waveform.py", ["45nm", "1"], capsys)
+    assert "closed-loop staggered wake" in out
+    assert "X" not in out.splitlines()[-2]  # legal stagger: no violations
+
+
+def test_custom_workload(capsys):
+    out = run_example("custom_workload.py", [], capsys)
+    assert "database_like" in out
+    assert "database_mix" in out
+
+
+def test_dvfs_comparison(capsys):
+    out = run_example("dvfs_comparison.py", ["gcc_like"], capsys)
+    assert "MAPG alone" in out
+    assert "DVFS saving" in out

@@ -1,0 +1,87 @@
+"""Tests for the CSV/JSON exporters."""
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    matrix_to_csv,
+    report_to_csv,
+    report_to_json,
+    result_to_dict,
+    results_to_json,
+)
+from repro.analysis.report import ExperimentReport
+from repro.errors import ReproError
+from repro.sim.results import SimulationResult
+
+
+def make_result(workload="w", policy="mapg"):
+    return SimulationResult(
+        workload=workload, policy=policy, instructions=1000,
+        total_cycles=5000, penalty_cycles=50, energy_j=1e-3,
+        event_energy_j=1e-5, event_count=10,
+        state_cycles={"active": 1000, "sleep": 4000},
+        state_energy_j={"active": 9e-4, "sleep": 1e-5},
+        controller_counters={"gated": 10.0},
+        memory_counters={"l1_hits": 900.0})
+
+
+def make_report():
+    report = ExperimentReport("F2", "test", headers=["a", "b"])
+    report.add_row("x", 1)
+    report.add_row("y", 2)
+    report.add_note("a note")
+    return report
+
+
+class TestReportExport:
+    def test_csv_roundtrip(self, tmp_path):
+        path = tmp_path / "r.csv"
+        assert report_to_csv(make_report(), path) == 2
+        with open(path, newline="") as stream:
+            rows = list(csv.reader(stream))
+        assert rows == [["a", "b"], ["x", "1"], ["y", "2"]]
+
+    def test_json_document(self, tmp_path):
+        path = tmp_path / "r.json"
+        report_to_json(make_report(), path)
+        payload = json.loads(path.read_text())
+        assert payload["experiment_id"] == "F2"
+        assert payload["rows"] == [["x", "1"], ["y", "2"]]
+        assert payload["notes"] == ["a note"]
+
+
+class TestResultExport:
+    def test_result_dict_is_json_safe(self):
+        record = result_to_dict(make_result())
+        json.dumps(record)  # must not raise
+        assert record["ipc"] == pytest.approx(0.2)
+        assert record["state_cycles"]["sleep"] == 4000
+
+    def test_matrix_csv_long_form(self, tmp_path):
+        matrix = {
+            "w1": {"never": make_result("w1", "never"),
+                   "mapg": make_result("w1", "mapg")},
+            "w2": {"never": make_result("w2", "never")},
+        }
+        path = tmp_path / "m.csv"
+        assert matrix_to_csv(matrix, path) == 3
+        with open(path, newline="") as stream:
+            rows = list(csv.DictReader(stream))
+        assert {(r["workload"], r["policy"]) for r in rows} == {
+            ("w1", "never"), ("w1", "mapg"), ("w2", "never")}
+
+    def test_matrix_json_nested(self, tmp_path):
+        matrix = {"w1": {"mapg": make_result("w1", "mapg")}}
+        path = tmp_path / "m.json"
+        results_to_json(matrix, path)
+        payload = json.loads(path.read_text())
+        assert payload["w1"]["mapg"]["total_cycles"] == 5000
+
+    def test_empty_matrix_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            matrix_to_csv({}, tmp_path / "x.csv")
+        with pytest.raises(ReproError):
+            results_to_json({}, tmp_path / "x.json")

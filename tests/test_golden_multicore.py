@@ -1,0 +1,61 @@
+"""Golden regression guard for the multi-core path.
+
+Locks the shared-DRAM interleaving, TAP token arbitration, and per-core
+MAPG controllers together.  Regenerate ``tests/data/golden_multicore.json``
+with the snippet in this file's sibling ``test_golden.py`` docstring
+pattern (same config below, seed 42) after any intentional model change.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.config import SystemConfig, TokenConfig
+from repro.sim.runner import run_multicore, with_policy
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_multicore.json"
+MIX = ["mcf_like", "gems_like", "gcc_like", "povray_like"]
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = with_policy(
+        SystemConfig(num_cores=4,
+                     token=TokenConfig(enabled=True, wake_tokens=2,
+                                       token_wait_limit_cycles=400)),
+        "mapg")
+    return run_multicore(config, MIX, 2500, seed=42)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def test_makespan(result, golden):
+    assert result.makespan_cycles == golden["makespan_cycles"]
+
+
+def test_total_energy(result, golden):
+    assert result.total_energy_j == pytest.approx(
+        golden["total_energy_j"], rel=1e-9)
+
+
+def test_total_penalty(result, golden):
+    assert result.total_penalty_cycles == golden["total_penalty_cycles"]
+
+
+def test_token_counters(result, golden):
+    assert {k: v for k, v in result.token_counters.items()} == \
+        golden["token_counters"]
+
+
+@pytest.mark.parametrize("core_id", [0, 1, 2, 3])
+def test_per_core(result, golden, core_id):
+    measured = result.per_core[core_id]
+    expected = golden["per_core"][str(core_id)]
+    assert measured.total_cycles == expected["total_cycles"]
+    assert measured.offchip_stalls == expected["offchip_stalls"]
+    assert measured.gated_stalls == expected["gated_stalls"]
+    assert measured.energy_j == pytest.approx(expected["energy_j"], rel=1e-9)

@@ -1,0 +1,57 @@
+"""Tests for the controller hardware-cost estimator."""
+
+import pytest
+
+from repro.analysis.hardware_cost import HardwareCost, estimate_controller_cost
+from repro.config import SystemConfig, TokenConfig
+from repro.sim.runner import with_policy
+
+
+def cost_of(policy, **gating):
+    return estimate_controller_cost(with_policy(SystemConfig(), policy, **gating))
+
+
+class TestEstimates:
+    def test_never_costs_nothing(self):
+        assert cost_of("never").total_bits == 0
+
+    def test_naive_needs_only_constants_and_timer(self):
+        cost = cost_of("naive")
+        assert cost.table_bits == 0
+        assert cost.fallback_bits == 0
+        assert cost.total_bits > 0
+
+    def test_table_predictor_dominates_mapg_cost(self):
+        cost = cost_of("mapg", predictor="table")
+        assert cost.table_entries == 64
+        assert cost.table_bits > cost.fallback_bits + cost.constant_bits
+
+    def test_scalar_predictor_much_cheaper(self):
+        table = cost_of("mapg", predictor="table")
+        ewma = cost_of("mapg", predictor="ewma")
+        assert ewma.total_bits < 0.3 * table.total_bits
+
+    def test_adaptive_adds_one_register(self):
+        base = cost_of("mapg", predictor="table")
+        adaptive = cost_of("mapg_adaptive", predictor="table")
+        assert 0 < adaptive.total_bits - base.total_bits <= 16
+
+    def test_tokens_add_interface_bits(self):
+        config = with_policy(
+            SystemConfig(token=TokenConfig(enabled=True, wake_tokens=2)),
+            "mapg", predictor="table")
+        with_tokens = estimate_controller_cost(config)
+        without = cost_of("mapg", predictor="table")
+        assert with_tokens.total_bits > without.total_bits
+
+    def test_everything_fits_in_sram_noise(self):
+        config = with_policy(
+            SystemConfig(token=TokenConfig(enabled=True, wake_tokens=2)),
+            "mapg_adaptive", predictor="table")
+        cost = estimate_controller_cost(config)
+        assert cost.total_bytes < 200.0
+
+    def test_bytes_property(self):
+        cost = HardwareCost(table_entries=0, table_bits=80, fallback_bits=0,
+                            constant_bits=0, control_bits=0)
+        assert cost.total_bytes == pytest.approx(10.0)

@@ -1,0 +1,172 @@
+"""Integration tests: the evaluation's shape claims, at small scale.
+
+These are the claims DESIGN.md says a successful reproduction must show.
+They run on shortened traces (a few thousand ops) so the full suite stays
+fast; the benchmarks re-run them at full scale.
+"""
+
+import pytest
+
+from repro.config import GatingConfig, SystemConfig, TokenConfig
+from repro.sim.runner import run_multicore, run_policy_comparison, run_workload, with_policy
+
+OPS = 4000
+POLICIES = ("never", "naive", "mapg", "oracle")
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return run_policy_comparison(
+        SystemConfig(), ["mcf_like", "gcc_like"], list(POLICIES), OPS, seed=7)
+
+
+class TestPolicyOrdering:
+    def test_oracle_has_zero_penalty(self, matrix):
+        for workload in matrix:
+            oracle = matrix[workload]["oracle"]
+            assert oracle.penalty_cycles == 0
+
+    def test_mapg_penalty_below_naive(self, matrix):
+        for workload in matrix:
+            naive = matrix[workload]["naive"]
+            mapg = matrix[workload]["mapg"]
+            assert mapg.penalty_cycles < naive.penalty_cycles
+
+    def test_energy_ordering_oracle_best(self, matrix):
+        for workload in matrix:
+            per_policy = matrix[workload]
+            assert per_policy["oracle"].energy_j <= per_policy["mapg"].energy_j
+            assert per_policy["mapg"].energy_j < per_policy["never"].energy_j
+
+    def test_mapg_wins_edp_among_realizable_policies(self, matrix):
+        """MAPG trades a sliver of naive's sleep (idle-awake margin) for a
+        near-zero penalty; energy-delay product is where that wins."""
+        for workload in matrix:
+            per_policy = matrix[workload]
+            base = per_policy["never"]
+            edp_mapg = per_policy["mapg"].compare(base).edp_ratio
+            edp_naive = per_policy["naive"].compare(base).edp_ratio
+            assert edp_mapg < edp_naive
+
+    def test_mapg_recovers_most_of_oracle_savings(self, matrix):
+        for workload in matrix:
+            per_policy = matrix[workload]
+            base = per_policy["never"].energy_j
+            oracle_saving = base - per_policy["oracle"].energy_j
+            mapg_saving = base - per_policy["mapg"].energy_j
+            assert mapg_saving >= 0.6 * oracle_saving
+
+    def test_mapg_penalty_near_zero(self, matrix):
+        """The headline claim: gating during memory stalls is ~free."""
+        for workload in matrix:
+            assert matrix[workload]["mapg"].performance_penalty < 0.01
+
+    def test_memory_bound_saves_more_than_compute_bound(self, matrix):
+        mcf = matrix["mcf_like"]
+        gcc = matrix["gcc_like"]
+        mcf_saving = 1 - mcf["mapg"].energy_j / mcf["never"].energy_j
+        gcc_saving = 1 - gcc["mapg"].energy_j / gcc["never"].energy_j
+        assert mcf_saving > gcc_saving
+
+
+class TestBetSensitivity:
+    def test_inflated_bet_reduces_gating(self):
+        """F3 shape: scaling BET up must reduce gated stalls and savings."""
+        config = SystemConfig()
+        results = {}
+        for scale in (1.0, 8.0, 64.0):
+            variant = with_policy(config, "mapg", bet_scale=scale)
+            results[scale] = run_workload(variant, "mcf_like", OPS, seed=7)
+        assert results[1.0].gated_stalls >= results[8.0].gated_stalls
+        assert results[8.0].gated_stalls >= results[64.0].gated_stalls
+        assert results[64.0].sleep_fraction <= results[1.0].sleep_fraction
+
+    def test_huge_bet_disables_gating_entirely(self):
+        variant = with_policy(SystemConfig(), "mapg", bet_scale=1000.0)
+        result = run_workload(variant, "gcc_like", OPS, seed=7)
+        assert result.gated_stalls == 0
+
+
+class TestWakeupHiding:
+    def test_naive_penalty_grows_with_wake_latency(self):
+        """F5 shape: naive pays wake latency linearly; MAPG stays low."""
+        config = SystemConfig()
+        naive_penalties = []
+        mapg_penalties = []
+        for wake_scale in (1.0, 2.0, 4.0):
+            naive = run_workload(
+                with_policy(config, "naive", wake_scale=wake_scale),
+                "mcf_like", OPS, seed=7)
+            mapg = run_workload(
+                with_policy(config, "mapg", wake_scale=wake_scale),
+                "mcf_like", OPS, seed=7)
+            naive_penalties.append(naive.performance_penalty)
+            mapg_penalties.append(mapg.performance_penalty)
+        assert naive_penalties == sorted(naive_penalties)
+        assert all(m < n for m, n in zip(mapg_penalties, naive_penalties))
+
+    def test_early_wakeup_ablation(self):
+        """F8 shape: disabling early wakeup pushes MAPG toward naive."""
+        config = SystemConfig()
+        with_early = run_workload(
+            with_policy(config, "mapg", early_wakeup=True),
+            "mcf_like", OPS, seed=7)
+        without_early = run_workload(
+            with_policy(config, "mapg", early_wakeup=False),
+            "mcf_like", OPS, seed=7)
+        assert with_early.penalty_cycles < without_early.penalty_cycles
+
+
+class TestDramLatencySensitivity:
+    def test_slower_memory_increases_savings(self):
+        """F4 shape: longer stalls -> more sleep per event."""
+        config = SystemConfig()
+        fractions = []
+        for scale in (0.5, 1.0, 2.0):
+            variant = with_policy(config, "mapg").replace(
+                dram=config.dram.scaled(scale))
+            result = run_workload(variant, "mcf_like", OPS, seed=7)
+            fractions.append(result.sleep_fraction)
+        assert fractions == sorted(fractions)
+
+
+class TestMulticoreTokens:
+    def test_fewer_tokens_mean_more_deferrals(self):
+        profiles = ["mcf_like"] * 4
+        results = {}
+        for tokens in (1, 4):
+            config = with_policy(
+                SystemConfig(num_cores=4,
+                             token=TokenConfig(enabled=True, wake_tokens=tokens)),
+                "naive")
+            results[tokens] = run_multicore(config, profiles, 1200, seed=3)
+        deferred_1 = results[1].token_counters.get("deferred_grants", 0)
+        deferred_4 = results[4].token_counters.get("deferred_grants", 0)
+        assert deferred_1 > deferred_4
+
+    def test_token_limit_bounds_extra_penalty(self):
+        profiles = ["mcf_like"] * 2
+        free = with_policy(SystemConfig(num_cores=2), "naive")
+        tight = with_policy(
+            SystemConfig(num_cores=2,
+                         token=TokenConfig(enabled=True, wake_tokens=1,
+                                           token_wait_limit_cycles=50)),
+            "naive")
+        free_result = run_multicore(free, profiles, 1200, seed=3)
+        tight_result = run_multicore(tight, profiles, 1200, seed=3)
+        # Token arbitration may add penalty but stays within the same order.
+        assert tight_result.total_penalty_cycles >= free_result.total_penalty_cycles
+        assert tight_result.total_penalty_cycles < \
+            free_result.total_penalty_cycles * 3 + 10_000
+
+
+class TestPredictionQuality:
+    def test_table_predictor_beats_fixed_on_mae(self):
+        config = SystemConfig()
+        table = run_workload(
+            with_policy(config, "mapg", predictor="table"),
+            "libquantum_like", OPS, seed=7)
+        fixed = run_workload(
+            with_policy(config, "mapg", predictor="fixed"),
+            "libquantum_like", OPS, seed=7)
+        assert table.prediction_mae_cycles < fixed.prediction_mae_cycles

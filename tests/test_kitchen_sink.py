@@ -1,0 +1,95 @@
+"""Everything-on integration: all features must compose.
+
+One configuration enabling every optional subsystem at once — windowed-MLP
+cores, stride prefetcher, dual sleep modes, adaptive policy, TAP tokens,
+non-nominal temperature, warm-up — run single- and multi-core.  The point
+is not a specific number but that the features' interactions respect every
+accounting invariant.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config import PrefetcherConfig, SystemConfig, TokenConfig
+from repro.sim.runner import run_multicore, run_workload, with_policy
+from repro.workloads import generate_trace
+
+
+def kitchen_sink_config(num_cores=1):
+    base = SystemConfig(
+        num_cores=num_cores,
+        technology="32nm",
+        prefetcher=PrefetcherConfig(enabled=True, degree=2),
+        token=TokenConfig(enabled=num_cores > 1, wake_tokens=2,
+                          token_wait_limit_cycles=400),
+    )
+    base = base.replace(core=dataclasses.replace(base.core, miss_window=4))
+    return with_policy(base, "mapg_adaptive", sleep_mode="dual",
+                       predictor="table")
+
+
+class TestSingleCore:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_workload(kitchen_sink_config(), "mcf_like", 4000,
+                            seed=23, temperature_c=100.0, warmup_ops=1000)
+
+    def test_ledger_tiles_exactly(self, result):
+        assert sum(result.state_cycles.values()) == result.total_cycles
+
+    def test_gating_happened(self, result):
+        assert result.gated_stalls > 0
+        assert result.sleep_fraction > 0.0
+
+    def test_both_sleep_modes_active(self, result):
+        counters = result.controller_counters
+        assert counters.get("gated_full", 0) + \
+            counters.get("gated_retention", 0) == counters.get("gated", 0)
+
+    def test_prefetcher_engaged(self, result):
+        assert result.memory_counters.get("prefetch_fills", 0) > 0
+
+    def test_penalty_bounded(self, result):
+        assert result.performance_penalty < 0.05
+
+    def test_energy_positive_and_finite(self, result):
+        assert 0.0 < result.energy_j < 1.0
+
+    def test_still_saves_vs_never(self):
+        config = kitchen_sink_config()
+        never = run_workload(with_policy(config, "never"), "mcf_like", 4000,
+                             seed=23, temperature_c=100.0, warmup_ops=1000)
+        gated = run_workload(config, "mcf_like", 4000,
+                             seed=23, temperature_c=100.0, warmup_ops=1000)
+        assert gated.energy_j < never.energy_j
+
+
+class TestMultiCore:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_multicore(kitchen_sink_config(num_cores=4),
+                             ["mcf_like", "gems_like", "omnetpp_like",
+                              "gcc_like"],
+                             2500, seed=23)
+
+    def test_all_cores_complete(self, result):
+        assert set(result.per_core) == {0, 1, 2, 3}
+        for core_result in result.per_core.values():
+            assert sum(core_result.state_cycles.values()) == \
+                core_result.total_cycles
+
+    def test_token_arbitration_engaged(self, result):
+        assert result.token_counters.get("requests", 0) > 0
+
+    def test_makespan_covers_every_core(self, result):
+        assert result.makespan_cycles >= max(
+            r.total_cycles for r in result.per_core.values()) - 1
+
+    def test_deterministic(self, result):
+        again = run_multicore(kitchen_sink_config(num_cores=4),
+                              ["mcf_like", "gems_like", "omnetpp_like",
+                               "gcc_like"],
+                              2500, seed=23)
+        assert again.total_energy_j == pytest.approx(result.total_energy_j)
+        assert again.makespan_cycles == result.makespan_cycles

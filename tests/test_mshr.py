@@ -1,0 +1,87 @@
+"""Tests for the MSHR file."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.memory.mshr import Mshr
+
+
+class TestAllocateLookup:
+    def test_lookup_live_entry(self):
+        mshr = Mshr(4)
+        mshr.allocate(0x1000, cycle=0, fill_cycle=100)
+        entry = mshr.lookup(0x1000, cycle=50)
+        assert entry is not None
+        assert entry.remaining(50) == 50
+
+    def test_lookup_after_fill_returns_none(self):
+        mshr = Mshr(4)
+        mshr.allocate(0x1000, cycle=0, fill_cycle=100)
+        assert mshr.lookup(0x1000, cycle=100) is None
+
+    def test_lookup_other_line_returns_none(self):
+        mshr = Mshr(4)
+        mshr.allocate(0x1000, cycle=0, fill_cycle=100)
+        assert mshr.lookup(0x2000, cycle=10) is None
+
+    def test_remaining_clamps_to_zero(self):
+        mshr = Mshr(1)
+        entry = mshr.allocate(0x0, cycle=0, fill_cycle=10)
+        assert entry.remaining(50) == 0
+
+    def test_duplicate_allocation_rejected(self):
+        mshr = Mshr(4)
+        mshr.allocate(0x1000, cycle=0, fill_cycle=100)
+        with pytest.raises(SimulationError):
+            mshr.allocate(0x1000, cycle=10, fill_cycle=200)
+
+    def test_reallocation_after_expiry_allowed(self):
+        mshr = Mshr(4)
+        mshr.allocate(0x1000, cycle=0, fill_cycle=100)
+        mshr.allocate(0x1000, cycle=150, fill_cycle=300)
+
+    def test_fill_before_allocation_rejected(self):
+        mshr = Mshr(4)
+        with pytest.raises(SimulationError):
+            mshr.allocate(0x1000, cycle=100, fill_cycle=50)
+
+
+class TestCapacity:
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            Mshr(0)
+
+    def test_outstanding_counts_live_entries(self):
+        mshr = Mshr(4)
+        mshr.allocate(0x0, cycle=0, fill_cycle=100)
+        mshr.allocate(0x40, cycle=0, fill_cycle=50)
+        assert mshr.outstanding(10) == 2
+        assert mshr.outstanding(75) == 1
+        assert mshr.outstanding(200) == 0
+
+    def test_full_file_rejects_allocation(self):
+        mshr = Mshr(1)
+        mshr.allocate(0x0, cycle=0, fill_cycle=100)
+        with pytest.raises(SimulationError):
+            mshr.allocate(0x40, cycle=10, fill_cycle=50)
+
+    def test_wait_for_free_slot(self):
+        mshr = Mshr(2)
+        mshr.allocate(0x00, cycle=0, fill_cycle=100)
+        mshr.allocate(0x40, cycle=0, fill_cycle=60)
+        assert mshr.wait_for_free_slot(10) == 50  # earliest fill at 60
+        assert mshr.wait_for_free_slot(70) == 0
+
+    def test_wait_zero_when_free(self):
+        assert Mshr(2).wait_for_free_slot(0) == 0
+
+
+class TestDrain:
+    def test_drain_cycle_is_latest_fill(self):
+        mshr = Mshr(4)
+        mshr.allocate(0x00, cycle=0, fill_cycle=80)
+        mshr.allocate(0x40, cycle=0, fill_cycle=120)
+        assert mshr.drain_cycle(10) == 120
+
+    def test_drain_cycle_empty_is_now(self):
+        assert Mshr(4).drain_cycle(42) == 42

@@ -1,0 +1,117 @@
+"""Tests for the multi-core segment scheduler."""
+
+import pytest
+
+from repro.config import CacheConfig, CoreConfig, DramConfig
+from repro.cpu.core import Core, StallSegment
+from repro.cpu.multicore import MultiCoreScheduler
+from repro.errors import SimulationError
+from repro.memory.dram import Dram
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.trace.format import ComputeBlock, MemoryAccess
+
+
+def make_cores(n, shared_dram=None):
+    cores = []
+    for i in range(n):
+        config = CoreConfig()
+        l1 = CacheConfig(name="L1D", size_bytes=1024, line_bytes=64,
+                         associativity=2, hit_latency_cycles=2, mshr_entries=4)
+        l2 = CacheConfig(name="L2", size_bytes=4096, line_bytes=64,
+                         associativity=4, hit_latency_cycles=10, mshr_entries=4)
+        hierarchy = MemoryHierarchy(l1, l2, DramConfig(refresh_latency_ns=0.0),
+                                    config.frequency_hz, seed=i,
+                                    shared_dram=shared_dram)
+        cores.append(Core(config, hierarchy))
+    return cores
+
+
+class TestScheduling:
+    def test_needs_at_least_one_core(self):
+        with pytest.raises(SimulationError):
+            MultiCoreScheduler([])
+
+    def test_trace_count_must_match_cores(self):
+        scheduler = MultiCoreScheduler(make_cores(2))
+        with pytest.raises(SimulationError):
+            scheduler.run([[ComputeBlock(1)]], on_segment=lambda i, s: 0)
+
+    def test_all_cores_complete(self):
+        scheduler = MultiCoreScheduler(make_cores(3))
+        traces = [[ComputeBlock(100)], [ComputeBlock(50)], [ComputeBlock(200)]]
+        clocks = scheduler.run(traces, on_segment=lambda i, s: 0)
+        assert clocks == {0: 100, 1: 50, 2: 200}
+
+    def test_segments_delivered_in_global_time_order(self):
+        scheduler = MultiCoreScheduler(make_cores(2))
+        traces = [[ComputeBlock(10), ComputeBlock(10)],
+                  [ComputeBlock(25)]]
+        order = []
+
+        def observe(index, segment):
+            order.append(index)
+            return 0
+
+        scheduler.run(traces, on_segment=observe)
+        # Core 0's first two segments coalesce into one 20-cycle segment,
+        # which (starting at t=0 like core 1's) is delivered before core 1's.
+        assert order[0] == 0 or order[0] == 1  # both start at 0; ties by heap
+        assert len(order) == 2
+
+    def test_penalties_fold_into_clocks(self):
+        scheduler = MultiCoreScheduler(make_cores(1))
+        clocks = scheduler.run([[ComputeBlock(100)]],
+                               on_segment=lambda i, s: 7)
+        assert clocks[0] == 107
+
+    def test_negative_extra_rejected(self):
+        scheduler = MultiCoreScheduler(make_cores(1))
+        with pytest.raises(SimulationError):
+            scheduler.run([[ComputeBlock(10)]], on_segment=lambda i, s: -1)
+
+    def test_penalized_core_falls_behind(self):
+        """A core slowed by penalties is scheduled later, as in real time."""
+        scheduler = MultiCoreScheduler(make_cores(2))
+        traces = [[ComputeBlock(10)] * 5, [ComputeBlock(10)] * 5]
+        # Coalescing merges each trace into one 50-cycle segment; use memory
+        # ops to break segments up instead.
+        cores = make_cores(2)
+        scheduler = MultiCoreScheduler(cores)
+        traces = [
+            [MemoryAccess(0x1000 * (i + 1)) for i in range(3)],
+            [MemoryAccess(0x40_0000 * (i + 1)) for i in range(3)],
+        ]
+        sequence = []
+
+        def observe(index, segment):
+            sequence.append(index)
+            return 500 if index == 0 else 0
+
+        scheduler.run(traces, on_segment=observe)
+        # After core 0's first penalized segment, core 1 should run several
+        # segments before core 0 returns.
+        first_zero = sequence.index(0)
+        next_zero = sequence.index(0, first_zero + 1)
+        ones_between = sequence[first_zero + 1:next_zero].count(1)
+        assert ones_between >= 1
+
+
+class TestSharedDramContention:
+    def test_two_cores_same_bank_queue(self):
+        shared = Dram(DramConfig(refresh_latency_ns=0.0))
+        cores = make_cores(2, shared_dram=shared)
+        scheduler = MultiCoreScheduler(cores)
+        # Both cores hammer the same row region -> second sees queue wait
+        # or row hit; in either case the shared bank state is visible.
+        traces = [[MemoryAccess(0x0)], [MemoryAccess(0x40)]]
+        stall_kinds = []
+
+        def observe(index, segment):
+            if isinstance(segment, StallSegment) and segment.off_chip:
+                stall_kinds.append(segment.dram_kind)
+            return 0
+
+        scheduler.run(traces, on_segment=observe)
+        assert len(stall_kinds) == 2
+        # One of the two must observe the other's open row.
+        assert "row_hit" in stall_kinds

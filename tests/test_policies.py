@@ -1,0 +1,191 @@
+"""Tests for the gating policies."""
+
+import pytest
+
+from repro.config import GatingConfig
+from repro.core.breakeven import BreakEvenAnalyzer
+from repro.core.policies import (
+    MapgPolicy,
+    NaivePolicy,
+    NeverPolicy,
+    OraclePolicy,
+    ThresholdPolicy,
+    make_policy,
+)
+from repro.errors import ConfigError
+from repro.predict.simple import FixedPredictor
+from repro.predict.table import HistoryTablePredictor
+
+STATIC = 180  # a typical closed-row estimate, well above BET
+
+
+@pytest.fixture
+def analyzer(circuit45):
+    return BreakEvenAnalyzer(circuit45, GatingConfig())
+
+
+class TestNever:
+    def test_never_gates(self, analyzer):
+        policy = NeverPolicy(analyzer)
+        decision = policy.decide(0, 0, 10_000)
+        assert not decision.gate
+        assert decision.reason == "never"
+
+
+class TestNaive:
+    def test_gates_everything_with_late_wake(self, analyzer):
+        policy = NaivePolicy(analyzer)
+        for stall in (5, 50, 5000):
+            decision = policy.decide(0, 0, stall)
+            assert decision.gate
+            assert decision.planned_wake_offset is None
+
+
+class TestThreshold:
+    def test_gates_when_static_clears_bet(self, analyzer):
+        policy = ThresholdPolicy(analyzer, static_estimate_cycles=STATIC)
+        decision = policy.decide(0, 0, 10)  # actual is irrelevant to it
+        assert decision.gate
+        assert decision.planned_wake_offset is None
+
+    def test_refuses_when_static_below_bet(self, analyzer):
+        policy = ThresholdPolicy(analyzer, static_estimate_cycles=5)
+        decision = policy.decide(0, 0, 10_000)
+        assert not decision.gate
+        assert decision.reason == "threshold_below_bet"
+
+    def test_rejects_negative_static(self, analyzer):
+        with pytest.raises(ConfigError):
+            ThresholdPolicy(analyzer, static_estimate_cycles=-1)
+
+
+class TestOracle:
+    def test_gates_profitable_stall_with_perfect_timing(self, analyzer):
+        policy = OraclePolicy(analyzer)
+        stall = 400
+        decision = policy.decide(0, 0, stall)
+        assert decision.gate
+        assert decision.planned_wake_offset == stall - analyzer.wake_cycles
+        assert decision.confidence == 1.0
+
+    def test_refuses_unprofitable_stall(self, analyzer):
+        policy = OraclePolicy(analyzer)
+        decision = policy.decide(0, 0, analyzer.drain_cycles + 1)
+        assert not decision.gate
+
+    def test_boundary_no_margin(self, analyzer):
+        policy = OraclePolicy(analyzer)
+        boundary = analyzer.min_gateable_stall_cycles
+        assert policy.decide(0, 0, boundary).gate
+        assert not policy.decide(0, 0, boundary - 1).gate
+
+
+class TestMapg:
+    def make(self, analyzer, predictor=None, **config_kwargs):
+        config = GatingConfig(policy="mapg", **config_kwargs)
+        if predictor is None:
+            predictor = HistoryTablePredictor(initial_cycles=STATIC)
+        return MapgPolicy(analyzer, predictor, config, STATIC)
+
+    def test_cold_start_uses_static_fallback_with_timer_wake(self, analyzer):
+        policy = self.make(analyzer)
+        decision = policy.decide(0x400000, 0, 300)
+        assert decision.gate  # static estimate clears BET + margin
+        assert decision.reason == "mapg_fallback_gate"
+        assert decision.predicted_cycles == STATIC
+        # Even at low confidence the wake is timer-scheduled — from the
+        # deviation-biased fallback estimate; the data-return trigger
+        # bounds any overshoot anyway.
+        biased = int(round(STATIC - policy._DEV_BIAS * 0.25 * STATIC))
+        assert decision.planned_wake_offset == max(
+            analyzer.drain_cycles, biased - analyzer.wake_cycles)
+
+    def test_fallback_registers_track_per_kind_latency(self, analyzer):
+        policy = self.make(analyzer)
+        for __ in range(60):
+            policy.observe(0x999990, 0, 140, kind="row_hit")
+            policy.observe(0x999994, 0, 220, kind="row_conflict")
+        hit_mean = policy._fallback_registers("row_hit")[0]
+        conflict_mean = policy._fallback_registers("row_conflict")[0]
+        assert abs(hit_mean - 140) < 10
+        assert abs(conflict_mean - 220) < 10
+
+    def test_confident_prediction_schedules_early_wake(self, analyzer):
+        policy = self.make(analyzer)
+        for __ in range(10):
+            policy.observe(0x400000, 0, 300)
+        decision = policy.decide(0x400000, 0, 300)
+        assert decision.gate
+        margin = policy.config.early_margin_cycles
+        assert decision.planned_wake_offset == 300 - margin - analyzer.wake_cycles
+        assert decision.reason == "mapg_gate"
+
+    def test_early_margin_shifts_wake_earlier(self, analyzer):
+        tight = self.make(analyzer, early_margin_cycles=0)
+        padded = self.make(analyzer, early_margin_cycles=30)
+        for policy in (tight, padded):
+            for __ in range(10):
+                policy.observe(0x400000, 0, 300)
+        offset_tight = tight.decide(0x400000, 0, 300).planned_wake_offset
+        offset_padded = padded.decide(0x400000, 0, 300).planned_wake_offset
+        assert offset_padded == offset_tight - 30
+
+    def test_confident_short_prediction_refuses(self, analyzer):
+        policy = self.make(analyzer)
+        short = analyzer.bet_cycles // 2
+        for __ in range(10):
+            policy.observe(0x400000, 0, short)
+        decision = policy.decide(0x400000, 0, short)
+        assert not decision.gate
+        assert decision.reason == "mapg_below_bet"
+
+    def test_early_wakeup_disabled_by_config(self, analyzer):
+        policy = self.make(analyzer, early_wakeup=False)
+        for __ in range(10):
+            policy.observe(0x400000, 0, 300)
+        decision = policy.decide(0x400000, 0, 300)
+        assert decision.gate
+        assert decision.planned_wake_offset is None
+
+    def test_fallback_refuses_if_static_below_bet(self, circuit45):
+        analyzer = BreakEvenAnalyzer(circuit45, GatingConfig())
+        config = GatingConfig(policy="mapg")
+        policy = MapgPolicy(analyzer, HistoryTablePredictor(initial_cycles=5),
+                            config, static_estimate_cycles=5)
+        decision = policy.decide(0, 0, 10_000)
+        assert not decision.gate
+        assert decision.reason == "mapg_fallback_below_bet"
+
+    def test_guard_margin_blocks_borderline_prediction(self, circuit45):
+        analyzer = BreakEvenAnalyzer(
+            circuit45, GatingConfig(guard_margin_cycles=50, min_confidence=0.0))
+        config = GatingConfig(policy="mapg", guard_margin_cycles=50,
+                              min_confidence=0.0)
+        boundary = analyzer.min_gateable_stall_cycles + 10  # within margin
+        predictor = FixedPredictor(boundary)
+        policy = MapgPolicy(analyzer, predictor, config, STATIC)
+        assert not policy.decide(0, 0, boundary).gate
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("never", NeverPolicy),
+        ("naive", NaivePolicy),
+        ("bet_guard", ThresholdPolicy),
+        ("oracle", OraclePolicy),
+    ])
+    def test_named_policies(self, analyzer, name, cls):
+        config = GatingConfig(policy=name)
+        policy = make_policy(config, analyzer, None, STATIC)
+        assert isinstance(policy, cls)
+
+    def test_mapg_with_predictor(self, analyzer):
+        config = GatingConfig(policy="mapg")
+        policy = make_policy(config, analyzer,
+                             HistoryTablePredictor(initial_cycles=STATIC), STATIC)
+        assert isinstance(policy, MapgPolicy)
+
+    def test_mapg_with_oracle_predictor_degrades_to_oracle(self, analyzer):
+        config = GatingConfig(policy="mapg", predictor="oracle")
+        policy = make_policy(config, analyzer, None, STATIC)
+        assert isinstance(policy, OraclePolicy)

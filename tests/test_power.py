@@ -1,0 +1,206 @@
+"""Tests for technology nodes, the PG circuit model, and the power model."""
+
+import math
+
+import pytest
+
+from repro.errors import CircuitModelError, ConfigError
+from repro.power.gating import SleepTransistorNetwork
+from repro.power.model import CorePowerModel, PowerState
+from repro.power.technology import TECHNOLOGY_NODES, get_technology
+from repro.power.temperature import leakage_scale_factor
+
+
+class TestTechnology:
+    def test_all_four_nodes_present(self):
+        assert set(TECHNOLOGY_NODES) == {"90nm", "65nm", "45nm", "32nm"}
+
+    def test_lookup_by_name(self):
+        assert get_technology("45nm").name == "45nm"
+
+    def test_unknown_node_rejected_with_known_list(self):
+        with pytest.raises(ConfigError, match="45nm"):
+            get_technology("22nm")
+
+    def test_leakage_fraction_grows_with_scaling(self):
+        fractions = [get_technology(n).leakage_fraction
+                     for n in ("90nm", "65nm", "45nm", "32nm")]
+        assert fractions == sorted(fractions)
+
+    def test_vdd_falls_with_scaling(self):
+        vdds = [get_technology(n).vdd_v for n in ("90nm", "65nm", "45nm", "32nm")]
+        assert vdds == sorted(vdds, reverse=True)
+
+
+class TestSleepTransistorNetwork:
+    def test_switch_width_meets_ir_budget(self, tech45):
+        network = SleepTransistorNetwork(tech45)
+        drop = tech45.core_peak_current_a * network.ron_total_ohm
+        assert drop <= tech45.max_ir_drop_fraction * tech45.vdd_v * 1.0001
+
+    def test_rail_droop_saturates_at_vdd(self, tech45):
+        network = SleepTransistorNetwork(tech45)
+        assert network.rail_droop_v(network.decay_tau_s * 50) == pytest.approx(
+            tech45.vdd_v, rel=1e-6)
+
+    def test_rail_droop_zero_at_zero(self, tech45):
+        assert SleepTransistorNetwork(tech45).rail_droop_v(0.0) == 0.0
+
+    def test_rail_droop_rejects_negative(self, tech45):
+        with pytest.raises(CircuitModelError):
+            SleepTransistorNetwork(tech45).rail_droop_v(-1.0)
+
+    def test_overhead_grows_with_sleep_then_saturates(self, tech45):
+        network = SleepTransistorNetwork(tech45)
+        tau = network.decay_tau_s
+        short = network.overhead_energy_j(0.1 * tau)
+        long = network.overhead_energy_j(3 * tau)
+        very_long = network.overhead_energy_j(10 * tau)
+        assert short < long
+        # Past full decay only residual leakage grows (slowly).
+        assert very_long - long < long - short
+
+    def test_net_saving_negative_for_tiny_sleep(self, tech45):
+        network = SleepTransistorNetwork(tech45)
+        assert network.net_saving_j(1e-10) < 0.0
+
+    def test_net_saving_positive_past_bet(self, tech45):
+        network = SleepTransistorNetwork(tech45)
+        bet = network.breakeven_time_s()
+        assert network.net_saving_j(2 * bet) > 0.0
+
+    def test_breakeven_is_root_of_net_saving(self, tech45):
+        network = SleepTransistorNetwork(tech45)
+        bet = network.breakeven_time_s()
+        assert abs(network.net_saving_j(bet)) < 1e-12
+        assert network.net_saving_j(bet * 0.8) < 0.0
+        assert network.net_saving_j(bet * 1.2) > 0.0
+
+    def test_bet_order_of_magnitude_nanoseconds(self, tech45):
+        bet = SleepTransistorNetwork(tech45).breakeven_time_s()
+        assert 1e-10 < bet < 1e-7
+
+    def test_leakier_nodes_have_shorter_bet(self):
+        bets = [SleepTransistorNetwork(get_technology(n)).breakeven_time_s()
+                for n in ("90nm", "65nm", "45nm", "32nm")]
+        assert bets == sorted(bets, reverse=True)
+
+    def test_cooler_silicon_has_longer_bet(self, tech45):
+        """Less leakage to save -> overhead takes longer to recoup."""
+        cool = SleepTransistorNetwork(tech45, temperature_c=45.0)
+        hot = SleepTransistorNetwork(tech45, temperature_c=110.0)
+        assert cool.breakeven_time_s() > hot.breakeven_time_s()
+        assert cool.domain_leakage_power_w < hot.domain_leakage_power_w
+
+    def test_temperature_does_not_change_wake_latency(self, tech45):
+        """Wake is a charge-delivery bound, not a leakage effect."""
+        cool = SleepTransistorNetwork(tech45, temperature_c=45.0)
+        hot = SleepTransistorNetwork(tech45, temperature_c=110.0)
+        assert cool.wake_latency_s() == pytest.approx(hot.wake_latency_s())
+
+
+class TestStaggeredWakeup:
+    def test_min_groups_respects_rush_ceiling(self, tech45):
+        network = SleepTransistorNetwork(tech45)
+        groups = network.min_stagger_groups()
+        assert network.rush_peak_current_a(groups) <= tech45.max_rush_current_a * 1.0001
+        if groups > 1:
+            assert network.rush_peak_current_a(groups - 1) > tech45.max_rush_current_a
+
+    def test_fewer_groups_than_minimum_rejected(self, tech45):
+        network = SleepTransistorNetwork(tech45)
+        minimum = network.min_stagger_groups()
+        if minimum > 1:
+            with pytest.raises(CircuitModelError):
+                network.wake_latency_s(minimum - 1)
+
+    def test_more_groups_wake_slower(self, tech45):
+        network = SleepTransistorNetwork(tech45)
+        minimum = network.min_stagger_groups()
+        assert network.wake_latency_s(minimum * 2) > network.wake_latency_s(minimum)
+
+    def test_wake_latency_nanosecond_scale(self, tech45):
+        wake = SleepTransistorNetwork(tech45).wake_latency_s()
+        assert 1e-9 < wake < 1e-7
+
+    def test_rush_current_rejects_zero_groups(self, tech45):
+        with pytest.raises(CircuitModelError):
+            SleepTransistorNetwork(tech45).rush_peak_current_a(0)
+
+
+class TestCharacterize:
+    def test_cycle_conversions(self, circuit45):
+        assert circuit45.wake_cycles == math.ceil(
+            circuit45.wake_latency_s * circuit45.frequency_hz - 1e-9)
+        assert circuit45.breakeven_cycles >= 1
+
+    def test_drain_includes_pipeline_and_handshake(self, tech45):
+        circuit = SleepTransistorNetwork(tech45).characterize(2e9, pipeline_depth=20)
+        assert circuit.drain_cycles == 22
+
+    def test_rejects_bad_frequency(self, tech45):
+        with pytest.raises(CircuitModelError):
+            SleepTransistorNetwork(tech45).characterize(0.0)
+
+    def test_net_saving_consistent_with_network(self, circuit45):
+        cycles = 200
+        seconds = cycles / circuit45.frequency_hz
+        assert circuit45.net_saving_j(cycles) == pytest.approx(
+            circuit45.network.net_saving_j(seconds))
+
+
+class TestTemperature:
+    def test_unity_at_nominal(self):
+        assert leakage_scale_factor(85.0) == pytest.approx(1.0)
+
+    def test_doubles_per_interval(self):
+        assert leakage_scale_factor(110.0) == pytest.approx(2.0)
+
+    def test_halves_below(self):
+        assert leakage_scale_factor(60.0) == pytest.approx(0.5)
+
+    def test_rejects_unphysical_temperature(self):
+        with pytest.raises(ConfigError):
+            leakage_scale_factor(500.0)
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ConfigError):
+            leakage_scale_factor(85.0, doubling_interval_c=0.0)
+
+
+class TestCorePowerModel:
+    def test_state_power_ordering(self, power_model):
+        """ACTIVE > DRAIN > STALL > SLEEP; sleep is orders cheaper."""
+        active = power_model.state_power_w(PowerState.ACTIVE)
+        drain = power_model.state_power_w(PowerState.DRAIN)
+        stall = power_model.state_power_w(PowerState.STALL)
+        sleep = power_model.state_power_w(PowerState.SLEEP)
+        assert active > drain > stall > sleep
+        assert sleep < 0.05 * stall
+
+    def test_interval_energy_linear_in_cycles(self, power_model):
+        one = power_model.interval_energy_j(PowerState.ACTIVE, 100)
+        two = power_model.interval_energy_j(PowerState.ACTIVE, 200)
+        assert two == pytest.approx(2 * one)
+
+    def test_interval_energy_rejects_negative(self, power_model):
+        with pytest.raises(ConfigError):
+            power_model.interval_energy_j(PowerState.ACTIVE, -1)
+
+    def test_event_energy_grows_with_sleep_length(self, power_model):
+        short = power_model.gating_event_energy_j(10)
+        long = power_model.gating_event_energy_j(10_000)
+        assert long > short
+
+    def test_event_energy_floor_is_switch_drive(self, power_model):
+        floor = power_model.gating_event_energy_j(0)
+        assert floor == pytest.approx(power_model.circuit.switch_event_energy_j)
+
+    def test_hotter_means_leakier(self, circuit45):
+        cool = CorePowerModel(circuit45, temperature_c=60.0)
+        hot = CorePowerModel(circuit45, temperature_c=110.0)
+        assert hot.leakage_power_w > cool.leakage_power_w
+        assert hot.state_power_w(PowerState.STALL) > cool.state_power_w(PowerState.STALL)
+
+    def test_background_power_positive(self, power_model):
+        assert power_model.background_power_w > 0.0

@@ -1,0 +1,176 @@
+"""Tests for the residual-latency predictors."""
+
+import pytest
+
+from repro.config import GatingConfig
+from repro.errors import PredictionError
+from repro.predict import (
+    EwmaPredictor,
+    FixedPredictor,
+    HistoryTablePredictor,
+    LastValuePredictor,
+    Prediction,
+    make_predictor,
+)
+
+
+class TestPrediction:
+    def test_rejects_negative_latency(self):
+        with pytest.raises(PredictionError):
+            Prediction(-1, 0.5)
+
+    def test_rejects_confidence_out_of_range(self):
+        with pytest.raises(PredictionError):
+            Prediction(10, 1.5)
+
+
+class TestFixed:
+    def test_always_returns_constant(self):
+        predictor = FixedPredictor(150)
+        for pc in (0, 4, 8):
+            assert predictor.predict(pc, 0).latency_cycles == 150
+
+    def test_observe_changes_nothing(self):
+        predictor = FixedPredictor(150)
+        predictor.observe(0, 0, 999)
+        assert predictor.predict(0, 0).latency_cycles == 150
+
+    def test_full_confidence_by_default(self):
+        assert FixedPredictor(100).predict(0, 0).confidence == 1.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(PredictionError):
+            FixedPredictor(-5)
+
+
+class TestLastValue:
+    def test_predicts_last_observation(self):
+        predictor = LastValuePredictor(initial_cycles=100)
+        predictor.observe(0, 0, 250)
+        assert predictor.predict(0, 0).latency_cycles == 250
+
+    def test_confidence_ramps_on_stable_stream(self):
+        predictor = LastValuePredictor(initial_cycles=200)
+        for __ in range(6):
+            predictor.observe(0, 0, 200)
+        assert predictor.predict(0, 0).confidence == 1.0
+
+    def test_confidence_resets_on_jump(self):
+        predictor = LastValuePredictor(initial_cycles=200)
+        for __ in range(6):
+            predictor.observe(0, 0, 200)
+        predictor.observe(0, 0, 1000)
+        assert predictor.predict(0, 0).confidence == 0.0
+
+    def test_reset_restores_initial(self):
+        predictor = LastValuePredictor(initial_cycles=100)
+        predictor.observe(0, 0, 500)
+        predictor.reset()
+        assert predictor.predict(0, 0).latency_cycles == 100
+
+    def test_rejects_negative_observation(self):
+        with pytest.raises(PredictionError):
+            LastValuePredictor().observe(0, 0, -1)
+
+
+class TestEwma:
+    def test_converges_to_stable_value(self):
+        predictor = EwmaPredictor(initial_cycles=100, alpha=0.5)
+        for __ in range(30):
+            predictor.observe(0, 0, 300)
+        assert predictor.predict(0, 0).latency_cycles == pytest.approx(300, abs=2)
+
+    def test_confidence_zero_before_any_observation(self):
+        assert EwmaPredictor(initial_cycles=100).predict(0, 0).confidence == 0.0
+
+    def test_confidence_high_on_low_variance_stream(self):
+        predictor = EwmaPredictor(initial_cycles=200)
+        for __ in range(50):
+            predictor.observe(0, 0, 200)
+        assert predictor.predict(0, 0).confidence > 0.8
+
+    def test_confidence_low_on_noisy_stream(self):
+        predictor = EwmaPredictor(initial_cycles=200)
+        for i in range(50):
+            predictor.observe(0, 0, 50 if i % 2 else 800)
+        assert predictor.predict(0, 0).confidence < 0.5
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(PredictionError):
+            EwmaPredictor(alpha=0.0)
+
+    def test_reset(self):
+        predictor = EwmaPredictor(initial_cycles=100)
+        predictor.observe(0, 0, 900)
+        predictor.reset()
+        assert predictor.predict(0, 0).latency_cycles == 100
+        assert predictor.predict(0, 0).confidence == 0.0
+
+
+class TestHistoryTable:
+    def test_cold_entry_uses_initial_estimate_zero_confidence(self):
+        predictor = HistoryTablePredictor(initial_cycles=180)
+        prediction = predictor.predict(0x400000, 3)
+        assert prediction.latency_cycles == 180
+        assert prediction.confidence == 0.0
+
+    def test_learns_per_key(self):
+        predictor = HistoryTablePredictor(entries=64)
+        for __ in range(20):
+            predictor.observe(0x400000, 0, 120)
+            predictor.observe(0x400100, 1, 400)
+        fast = predictor.predict(0x400000, 0)
+        slow = predictor.predict(0x400100, 1)
+        assert fast.latency_cycles == pytest.approx(120, abs=5)
+        assert slow.latency_cycles == pytest.approx(400, abs=10)
+        assert fast.confidence == 1.0
+
+    def test_confidence_drops_on_misprediction(self):
+        predictor = HistoryTablePredictor()
+        for __ in range(10):
+            predictor.observe(0x400000, 0, 120)
+        before = predictor.predict(0x400000, 0).confidence
+        predictor.observe(0x400000, 0, 900)
+        after = predictor.predict(0x400000, 0).confidence
+        assert after < before
+
+    def test_occupancy(self):
+        predictor = HistoryTablePredictor(entries=16)
+        assert predictor.occupancy == 0.0
+        predictor.observe(0x400000, 0, 100)
+        assert predictor.occupancy == pytest.approx(1 / 16)
+
+    def test_reset_clears_table(self):
+        predictor = HistoryTablePredictor()
+        predictor.observe(0x400000, 0, 100)
+        predictor.reset()
+        assert predictor.occupancy == 0.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(PredictionError):
+            HistoryTablePredictor(entries=0)
+        with pytest.raises(PredictionError):
+            HistoryTablePredictor(alpha=2.0)
+        with pytest.raises(PredictionError):
+            HistoryTablePredictor(tolerance=0.0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("fixed", FixedPredictor),
+        ("last_value", LastValuePredictor),
+        ("ewma", EwmaPredictor),
+        ("table", HistoryTablePredictor),
+    ])
+    def test_builds_named_predictor(self, name, cls):
+        config = GatingConfig(predictor=name)
+        assert isinstance(make_predictor(config, 180), cls)
+
+    def test_oracle_returns_none(self):
+        config = GatingConfig(predictor="oracle")
+        assert make_predictor(config, 180) is None
+
+    def test_seeds_initial_estimate(self):
+        config = GatingConfig(predictor="fixed")
+        predictor = make_predictor(config, 222)
+        assert predictor.predict(0, 0).latency_cycles == 222

@@ -1,0 +1,157 @@
+"""Tests for the stride prefetcher and its hierarchy integration."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import CacheConfig, DramConfig, PrefetcherConfig, SystemConfig
+from repro.errors import ConfigError
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.prefetch import StridePrefetcher
+from repro.sim.runner import run_workload, with_policy
+
+FREQ = 2e9
+
+
+class TestStrideDetection:
+    def make(self, **kwargs):
+        return StridePrefetcher(PrefetcherConfig(enabled=True, **kwargs))
+
+    def test_no_prefetch_before_confirmation(self):
+        prefetcher = self.make(confirmations=2)
+        assert prefetcher.train(0x400000, 0x1000) == []
+        assert prefetcher.train(0x400000, 0x1040) == []  # stride learned
+        assert prefetcher.train(0x400000, 0x1080) == []  # 1st confirmation
+
+    def test_confirmed_stride_prefetches_ahead(self):
+        prefetcher = self.make(confirmations=2, degree=3)
+        for address in (0x1000, 0x1040, 0x1080):
+            prefetcher.train(0x400000, address)
+        targets = prefetcher.train(0x400000, 0x10C0)
+        assert targets == [0x1100, 0x1140, 0x1180]
+
+    def test_negative_stride_supported(self):
+        prefetcher = self.make(confirmations=2, degree=1)
+        for address in (0x2000, 0x1FC0, 0x1F80, 0x1F40):
+            result = prefetcher.train(0x400000, address)
+        assert result == [0x1F00]
+
+    def test_stride_change_resets_confidence(self):
+        prefetcher = self.make(confirmations=2, degree=1)
+        for address in (0x1000, 0x1040, 0x1080, 0x10C0):
+            prefetcher.train(0x400000, address)
+        assert prefetcher.train(0x400000, 0x5000) == []  # wild jump
+        assert prefetcher.train(0x400000, 0x5040) == []  # new stride, conf 1
+
+    def test_zero_stride_ignored(self):
+        prefetcher = self.make()
+        for __ in range(5):
+            assert prefetcher.train(0x400000, 0x1000) == []
+
+    def test_oversized_stride_ignored(self):
+        prefetcher = self.make(max_stride_bytes=1024)
+        for i in range(5):
+            assert prefetcher.train(0x400000, i * 1_000_000) == []
+
+    def test_independent_pcs(self):
+        prefetcher = self.make(confirmations=2, degree=1)
+        for i in range(4):
+            prefetcher.train(0x400000, 0x1000 + i * 64)
+            prefetcher.train(0x400100, 0x9000 + i * 4096)
+        assert prefetcher.train(0x400000, 0x1000 + 4 * 64) == [0x1000 + 5 * 64]
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            PrefetcherConfig(degree=0)
+        with pytest.raises(ConfigError):
+            PrefetcherConfig(table_entries=0)
+
+
+class TestHierarchyIntegration:
+    def make_hierarchy(self, enabled=True, degree=2):
+        l1 = CacheConfig(name="L1D", size_bytes=1024, line_bytes=64,
+                         associativity=2, hit_latency_cycles=2, mshr_entries=4)
+        l2 = CacheConfig(name="L2", size_bytes=16 * 1024, line_bytes=64,
+                         associativity=4, hit_latency_cycles=10, mshr_entries=8)
+        return MemoryHierarchy(
+            l1, l2, DramConfig(refresh_latency_ns=0.0), FREQ,
+            prefetcher_config=PrefetcherConfig(enabled=enabled, degree=degree,
+                                               confirmations=2))
+
+    def walk(self, hierarchy, start, count, stride=4096, pc=0x400000,
+             gap=5000):
+        results = []
+        cycle = 0
+        for i in range(count):
+            results.append(hierarchy.access(start + i * stride, cycle, pc=pc))
+            cycle += gap
+        return results
+
+    def test_trained_stream_stops_missing(self):
+        hierarchy = self.make_hierarchy()
+        results = self.walk(hierarchy, 0x10000, 10)
+        # After training (3 accesses), later accesses hit prefetched lines.
+        later_levels = [r.level for r in results[4:]]
+        assert "l2" in later_levels
+        assert hierarchy.counters.get("useful_prefetches") > 0
+
+    def test_disabled_prefetcher_never_fills(self):
+        hierarchy = self.make_hierarchy(enabled=False)
+        self.walk(hierarchy, 0x10000, 10)
+        assert hierarchy.prefetcher is None
+        assert hierarchy.counters.get("prefetch_fills") == 0
+
+    def test_redundant_prefetches_counted_not_issued(self):
+        hierarchy = self.make_hierarchy(degree=4)
+        # Walk the same short region twice: second pass triggers redundant.
+        self.walk(hierarchy, 0x10000, 6)
+        self.walk(hierarchy, 0x10000, 6)
+        assert hierarchy.counters.get("prefetch_redundant") > 0
+
+    def test_prefetch_fills_occupy_dram(self):
+        with_pf = self.make_hierarchy(degree=4)
+        without = self.make_hierarchy(enabled=False)
+        self.walk(with_pf, 0x10000, 10)
+        self.walk(without, 0x10000, 10)
+        assert with_pf.dram.counters.get("accesses") > \
+            without.dram.counters.get("accesses")
+
+    def test_late_prefetch_merges_with_residual(self):
+        """A demand arriving right behind its prefetch pays only the tail."""
+        hierarchy = self.make_hierarchy(degree=1)
+        cycle = 0
+        # Train with wide gaps.
+        for i in range(4):
+            hierarchy.access(0x10000 + i * 4096, cycle, pc=0x400000)
+            cycle += 5000
+        # The 4th access prefetched 0x10000+4*4096; touch it immediately.
+        result = hierarchy.access(0x10000 + 4 * 4096, cycle - 4990, pc=0x400000)
+        assert result.merged
+        assert hierarchy.counters.get("late_prefetches") >= 1
+
+
+class TestEndToEnd:
+    def test_prefetcher_speeds_up_streaming_workload(self):
+        base = SystemConfig()
+        pf_config = base.replace(
+            prefetcher=PrefetcherConfig(enabled=True, degree=4))
+        off = run_workload(with_policy(base, "never"),
+                           "libquantum_like", 4000, seed=11)
+        on = run_workload(with_policy(pf_config, "never"),
+                          "libquantum_like", 4000, seed=11)
+        assert on.total_cycles < off.total_cycles
+        assert on.offchip_stalls < off.offchip_stalls
+
+    def test_prefetcher_barely_helps_pointer_chasing(self):
+        base = SystemConfig()
+        pf_config = base.replace(
+            prefetcher=PrefetcherConfig(enabled=True, degree=4))
+        off = run_workload(with_policy(base, "never"), "mcf_like", 4000, seed=11)
+        on = run_workload(with_policy(pf_config, "never"), "mcf_like", 4000, seed=11)
+        speedup_mcf = off.total_cycles / on.total_cycles
+        assert speedup_mcf < 1.15
+
+    def test_prefetcher_in_json_roundtrip(self):
+        config = SystemConfig(prefetcher=PrefetcherConfig(enabled=True, degree=8))
+        restored = SystemConfig.from_json(config.to_json())
+        assert restored.prefetcher.degree == 8

@@ -1,0 +1,208 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import io
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.wakeup import resolve_wakeup
+from repro.memory.cache import Cache
+from repro.config import CacheConfig, DramConfig, GatingConfig
+from repro.core.breakeven import BreakEvenAnalyzer
+from repro.memory.dram import Dram
+from repro.power.gating import SleepTransistorNetwork
+from repro.power.technology import get_technology
+from repro.stats import CounterSet, Histogram, IntervalAccumulator, RunningMean
+from repro.trace.format import ComputeBlock, MemoryAccess
+from repro.trace.io import read_trace, write_trace
+
+
+# ---- wakeup timing algebra ---------------------------------------------------
+
+@given(
+    stall=st.integers(min_value=0, max_value=10_000),
+    drain=st.integers(min_value=0, max_value=100),
+    wake=st.integers(min_value=0, max_value=100),
+    offset_slack=st.one_of(st.none(), st.integers(min_value=0, max_value=10_000)),
+    token_delay=st.integers(min_value=0, max_value=200),
+)
+def test_wakeup_tiling_invariant(stall, drain, wake, offset_slack, token_delay):
+    """drain + sleep + wake + idle == stall + penalty, for every input."""
+    offset = None if offset_slack is None else drain + offset_slack
+    plan = resolve_wakeup(stall, drain, wake, offset, token_delay)
+    assert plan.drain + plan.sleep + plan.wake + plan.idle_awake == \
+        stall + plan.penalty
+    assert plan.penalty >= 0
+    assert plan.token_wait <= plan.sleep
+
+
+@given(
+    stall=st.integers(min_value=1, max_value=10_000),
+    drain=st.integers(min_value=0, max_value=100),
+    wake=st.integers(min_value=1, max_value=100),
+)
+def test_early_wakeup_never_worse_than_naive(stall, drain, wake):
+    """The fallback trigger bounds any plan's penalty at the naive penalty."""
+    naive = resolve_wakeup(stall, drain, wake, planned_wake_offset=None)
+    for offset_slack in (0, wake // 2, wake, stall):
+        plan = resolve_wakeup(stall, drain, wake,
+                              planned_wake_offset=drain + offset_slack)
+        assert plan.penalty <= naive.penalty
+
+
+# ---- cache ---------------------------------------------------------------------
+
+@st.composite
+def cache_and_addresses(draw):
+    sets = draw(st.sampled_from([1, 2, 4, 8]))
+    ways = draw(st.sampled_from([1, 2, 4]))
+    config = CacheConfig(name="P", size_bytes=sets * ways * 64, line_bytes=64,
+                         associativity=ways,
+                         replacement=draw(st.sampled_from(["lru", "plru", "random"])))
+    addresses = draw(st.lists(
+        st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=200))
+    return config, addresses
+
+
+@given(cache_and_addresses())
+@settings(max_examples=50)
+def test_cache_immediate_rehit(params):
+    """Any just-accessed address must hit if re-accessed immediately."""
+    config, addresses = params
+    cache = Cache(config, seed=1)
+    for address in addresses:
+        cache.access(address)
+        assert cache.probe(address)
+        assert cache.access(address).hit
+
+
+@given(cache_and_addresses())
+@settings(max_examples=50)
+def test_cache_counter_consistency(params):
+    config, addresses = params
+    cache = Cache(config, seed=1)
+    for address in addresses:
+        cache.access(address)
+    counters = cache.counters
+    assert counters.get("hits") + counters.get("misses") == counters.get("accesses")
+    assert counters.get("writebacks") == 0  # reads never dirty lines
+
+
+# ---- DRAM ----------------------------------------------------------------------
+
+@given(
+    addresses=st.lists(st.integers(min_value=0, max_value=1 << 30),
+                       min_size=1, max_size=100),
+    start_ns=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+)
+@settings(max_examples=50)
+def test_dram_latency_bounds(addresses, start_ns):
+    """Latency is always >= the row-hit floor and finite."""
+    config = DramConfig(refresh_latency_ns=0.0)
+    dram = Dram(config)
+    floor = (config.controller_overhead_ns + config.t_cas_ns
+             + config.queue_service_ns + config.bus_transfer_ns)
+    now = start_ns
+    for address in addresses:
+        result = dram.access(address, now)
+        assert result.latency_ns >= floor - 1e-9
+        assert result.latency_ns < 1e7
+        now += 1.0
+
+
+# ---- histogram --------------------------------------------------------------------
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e4,
+                          allow_nan=False, allow_infinity=False),
+                min_size=1, max_size=300))
+def test_histogram_percentiles_bounded_by_min_max(values):
+    histogram = Histogram.linear(0.0, 1e4, 20)
+    histogram.observe_many(values)
+    for p in (0, 25, 50, 75, 100):
+        assert histogram.min - 1e-9 <= histogram.percentile(p) <= histogram.max + 1e-9
+    assert histogram.count == len(values)
+
+
+@given(st.lists(st.floats(min_value=-1e3, max_value=1e3,
+                          allow_nan=False, allow_infinity=False),
+                min_size=2, max_size=200))
+def test_running_mean_matches_numpy_free_reference(values):
+    stream = RunningMean()
+    for value in values:
+        stream.observe(value)
+    mean = sum(values) / len(values)
+    variance = sum((v - mean) ** 2 for v in values) / len(values)
+    assert abs(stream.mean - mean) < 1e-6 * max(1.0, abs(mean))
+    assert abs(stream.variance - variance) < 1e-5 * max(1.0, variance)
+
+
+# ---- counters -----------------------------------------------------------------------
+
+@given(st.lists(st.tuples(st.sampled_from(["a", "b", "c"]),
+                          st.floats(min_value=0.0, max_value=100.0)),
+                max_size=100))
+def test_counterset_total_is_sum_of_increments(increments):
+    counters = CounterSet()
+    expected = {}
+    for name, amount in increments:
+        counters.add(name, amount)
+        expected[name] = expected.get(name, 0.0) + amount
+    for name, total in expected.items():
+        assert abs(counters.get(name) - total) < 1e-9
+
+
+# ---- intervals ------------------------------------------------------------------------
+
+@given(st.lists(st.tuples(st.sampled_from(["x", "y", "z"]),
+                          st.integers(min_value=0, max_value=100)),
+                min_size=1, max_size=50))
+def test_interval_accumulator_conserves_time(steps):
+    acc = IntervalAccumulator("x", keep_records=True)
+    cycle = 0
+    for state, length in steps:
+        cycle += length
+        acc.switch(state, cycle)
+    acc.close(cycle)
+    assert acc.grand_total() == cycle
+    acc.verify_contiguous()
+
+
+# ---- trace round-trip ------------------------------------------------------------------
+
+trace_ops = st.lists(
+    st.one_of(
+        st.builds(ComputeBlock, instructions=st.integers(1, 10_000)),
+        st.builds(MemoryAccess,
+                  address=st.integers(0, (1 << 48) - 1),
+                  pc=st.integers(0, (1 << 32) - 1),
+                  is_write=st.booleans(),
+                  dependent=st.booleans()),
+    ),
+    max_size=100)
+
+
+@given(trace_ops)
+def test_trace_jsonl_roundtrip(ops):
+    buffer = io.StringIO()
+    write_trace(ops, buffer)
+    buffer.seek(0)
+    assert list(read_trace(buffer)) == ops
+
+
+# ---- break-even -------------------------------------------------------------------------
+
+@given(
+    node=st.sampled_from(["90nm", "65nm", "45nm", "32nm"]),
+    stall=st.integers(min_value=0, max_value=5000),
+    margin=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=60)
+def test_worthwhile_is_monotone_in_stall(node, stall, margin):
+    """If a stall is worth gating, every longer stall is too."""
+    circuit = SleepTransistorNetwork(get_technology(node)).characterize(2e9)
+    analyzer = BreakEvenAnalyzer(circuit, GatingConfig(guard_margin_cycles=margin))
+    if analyzer.worthwhile(stall):
+        assert analyzer.worthwhile(stall + 1)
+        assert analyzer.worthwhile(stall * 2 + 1)
+    else:
+        assert not analyzer.worthwhile(max(0, stall - 1))

@@ -1,0 +1,136 @@
+"""Tests for the experiment runners (single- and multi-core)."""
+
+import pytest
+
+from repro.config import SystemConfig, TokenConfig
+from repro.errors import ConfigError
+from repro.sim.runner import (
+    run_multicore,
+    run_policy_comparison,
+    run_workload,
+    with_policy,
+)
+
+
+class TestWithPolicy:
+    def test_replaces_policy_only(self):
+        config = SystemConfig()
+        variant = with_policy(config, "naive")
+        assert variant.gating.policy == "naive"
+        assert variant.dram == config.dram
+
+    def test_extra_gating_overrides(self):
+        variant = with_policy(SystemConfig(), "mapg", bet_scale=2.0)
+        assert variant.gating.bet_scale == 2.0
+
+
+class TestRunWorkload:
+    def test_same_seed_reproducible(self):
+        config = with_policy(SystemConfig(), "mapg")
+        a = run_workload(config, "gcc_like", 1500, seed=5)
+        b = run_workload(config, "gcc_like", 1500, seed=5)
+        assert a.total_cycles == b.total_cycles
+        assert a.energy_j == pytest.approx(b.energy_j)
+
+    def test_temperature_override_increases_energy(self):
+        config = with_policy(SystemConfig(), "never")
+        cool = run_workload(config, "gcc_like", 1000, seed=5, temperature_c=60.0)
+        hot = run_workload(config, "gcc_like", 1000, seed=5, temperature_c=110.0)
+        assert hot.energy_j > cool.energy_j
+        assert hot.total_cycles == cool.total_cycles
+
+
+class TestPolicyComparison:
+    def test_matrix_shape(self):
+        matrix = run_policy_comparison(
+            SystemConfig(), ["gcc_like", "mcf_like"], ["never", "naive"], 800)
+        assert set(matrix) == {"gcc_like", "mcf_like"}
+        assert set(matrix["gcc_like"]) == {"never", "naive"}
+
+    def test_policies_see_identical_traces(self):
+        matrix = run_policy_comparison(
+            SystemConfig(), ["gcc_like"], ["never", "oracle"], 800)
+        never = matrix["gcc_like"]["never"]
+        oracle = matrix["gcc_like"]["oracle"]
+        assert never.instructions == oracle.instructions
+        assert never.offchip_stalls == oracle.offchip_stalls
+
+
+class TestSeedStudy:
+    def test_statistics_computed(self):
+        from repro.sim.runner import run_seed_study
+        config = with_policy(SystemConfig(), "mapg")
+        study = run_seed_study(config, "gcc_like", 800, seeds=(1, 2, 3))
+        assert len(study.savings) == 3
+        assert study.mean_saving == pytest.approx(
+            sum(study.savings) / 3)
+        assert study.std_saving >= 0.0
+
+    def test_single_seed_zero_std(self):
+        from repro.sim.runner import run_seed_study
+        config = with_policy(SystemConfig(), "mapg")
+        study = run_seed_study(config, "gcc_like", 600, seeds=(5,))
+        assert study.std_saving == 0.0
+        assert study.std_penalty == 0.0
+
+    def test_empty_seeds_rejected(self):
+        from repro.sim.runner import run_seed_study
+        with pytest.raises(ConfigError):
+            run_seed_study(with_policy(SystemConfig(), "mapg"),
+                           "gcc_like", 600, seeds=())
+
+
+class TestMulticore:
+    def test_core_count_must_match_profiles(self):
+        with pytest.raises(ConfigError):
+            run_multicore(SystemConfig(num_cores=2), ["gcc_like"], 500)
+
+    def test_two_core_run_completes(self):
+        config = with_policy(SystemConfig(num_cores=2), "mapg")
+        result = run_multicore(config, ["mcf_like", "gcc_like"], 800)
+        assert result.num_cores == 2
+        assert set(result.per_core) == {0, 1}
+        assert result.makespan_cycles >= max(
+            r.total_cycles for r in result.per_core.values()) - 1
+        assert result.total_energy_j > 0.0
+
+    def test_tokens_engage_under_contention(self):
+        config = with_policy(
+            SystemConfig(num_cores=4,
+                         token=TokenConfig(enabled=True, wake_tokens=1)),
+            "naive")
+        result = run_multicore(config, ["mcf_like"] * 4, 600, seed=3)
+        assert result.wake_tokens == 1
+        assert result.token_counters.get("requests", 0) > 0
+
+    def test_tokens_disabled_reports_zero(self):
+        config = with_policy(SystemConfig(num_cores=2), "naive")
+        result = run_multicore(config, ["gcc_like", "gcc_like"], 500)
+        assert result.wake_tokens == 0
+        assert result.token_counters == {}
+
+    def test_mean_penalty_property(self):
+        config = with_policy(SystemConfig(num_cores=2), "naive")
+        result = run_multicore(config, ["mcf_like", "mcf_like"], 600)
+        assert result.mean_performance_penalty > 0.0
+        assert result.total_penalty_cycles > 0
+
+    def test_heterogeneous_cores(self):
+        """big.LITTLE: a wide MLP core next to a blocking core, one DRAM."""
+        import dataclasses
+        base = with_policy(SystemConfig(num_cores=2), "mapg")
+        big = base.replace(core=dataclasses.replace(base.core, miss_window=8))
+        little = base.replace(core=dataclasses.replace(base.core,
+                                                       miss_window=1))
+        result = run_multicore(base, ["libquantum_like", "libquantum_like"],
+                               800, seed=5, per_core_configs=[big, little])
+        # Same trace profile/seed offsets differ, but the big core's MLP
+        # must make it decisively faster than the blocking one.
+        assert result.per_core[0].total_cycles < \
+            0.9 * result.per_core[1].total_cycles
+
+    def test_heterogeneous_count_mismatch_rejected(self):
+        config = with_policy(SystemConfig(num_cores=2), "mapg")
+        with pytest.raises(ConfigError):
+            run_multicore(config, ["gcc_like", "gcc_like"], 400,
+                          per_core_configs=[config])

@@ -1,0 +1,164 @@
+"""Tests for the retention sleep mode and dual-mode selection."""
+
+import pytest
+
+from repro.config import GatingConfig, SystemConfig
+from repro.core.breakeven import BreakEvenAnalyzer
+from repro.core.controller import MapgController
+from repro.core.policies import MapgPolicy
+from repro.errors import ConfigError
+from repro.power.gating import SleepTransistorNetwork
+from repro.power.model import CorePowerModel, PowerState
+from repro.predict.table import HistoryTablePredictor
+from repro.sim.runner import run_workload, with_policy
+
+STATIC = 180
+
+
+class TestRetentionCircuit:
+    def test_retention_wake_faster_than_full(self, tech45):
+        network = SleepTransistorNetwork(tech45)
+        assert network.retention_wake_latency_s() < network.wake_latency_s()
+
+    def test_retention_leakage_between_zero_and_full(self, tech45):
+        network = SleepTransistorNetwork(tech45)
+        assert 0.0 < network.retention_leakage_w < network.domain_leakage_power_w
+        # Quadratic shape: well below the linear fraction.
+        assert network.retention_leakage_w < \
+            network.RETENTION_VDD_FRACTION * network.domain_leakage_power_w
+
+    def test_retention_droop_capped_at_clamp_swing(self, tech45):
+        network = SleepTransistorNetwork(tech45)
+        swing = tech45.vdd_v - network.retention_voltage_v
+        assert network.retention_droop_v(network.decay_tau_s * 100) == \
+            pytest.approx(swing)
+
+    def test_retention_rush_cheaper_than_full_for_long_sleep(self, tech45):
+        network = SleepTransistorNetwork(tech45)
+        long_sleep = network.decay_tau_s * 10
+        assert network.retention_rush_energy_j(long_sleep) < \
+            network.rush_charge_energy_j(long_sleep)
+
+    def test_retention_bet_is_root(self, tech45):
+        network = SleepTransistorNetwork(tech45)
+        bet = network.retention_breakeven_time_s()
+        assert abs(network.retention_net_saving_j(bet)) < 1e-12
+
+    def test_characterize_exposes_retention_fields(self, circuit45):
+        assert circuit45.retention_wake_cycles < circuit45.wake_cycles
+        assert circuit45.retention_wake_cycles > 0
+        assert circuit45.retention_sleep_power_w > circuit45.sleep_residual_power_w
+
+
+class TestPowerModel:
+    def test_retention_state_power_between_sleep_and_stall(self, power_model):
+        sleep = power_model.state_power_w(PowerState.SLEEP)
+        retention = power_model.state_power_w(PowerState.SLEEP_RETENTION)
+        stall = power_model.state_power_w(PowerState.STALL)
+        assert sleep < retention < stall
+
+    def test_retention_event_energy_cheaper_for_long_sleep(self, power_model):
+        full = power_model.gating_event_energy_j(10_000, mode="full")
+        retention = power_model.gating_event_energy_j(10_000, mode="retention")
+        assert retention < full
+
+    def test_unknown_mode_rejected(self, power_model):
+        with pytest.raises(ConfigError):
+            power_model.gating_event_energy_j(100, mode="drowsy")
+
+
+class TestAnalyzerModes:
+    def test_mode_specific_thresholds(self, circuit45):
+        analyzer = BreakEvenAnalyzer(circuit45, GatingConfig())
+        assert analyzer.wake_cycles_for("retention") < analyzer.wake_cycles_for("full")
+        assert analyzer.bet_cycles_for("retention") != analyzer.bet_cycles_for("full")
+
+    def test_unknown_mode_rejected(self, circuit45):
+        analyzer = BreakEvenAnalyzer(circuit45, GatingConfig())
+        with pytest.raises(ConfigError):
+            analyzer.bet_cycles_for("nap")
+        with pytest.raises(ConfigError):
+            analyzer.wake_cycles_for("nap")
+
+
+class TestModeSelection:
+    def make_policy(self, circuit, sleep_mode):
+        config = GatingConfig(policy="mapg", sleep_mode=sleep_mode)
+        analyzer = BreakEvenAnalyzer(circuit, config)
+        return MapgPolicy(analyzer, HistoryTablePredictor(initial_cycles=STATIC),
+                          config, STATIC)
+
+    def train(self, policy, latency):
+        for __ in range(10):
+            policy.observe(0x400000, 0, latency)
+
+    def test_full_mode_only_full(self, circuit45):
+        policy = self.make_policy(circuit45, "full")
+        self.train(policy, 300)
+        assert policy.decide(0x400000, 0, 300).mode == "full"
+
+    def test_retention_mode_only_retention(self, circuit45):
+        policy = self.make_policy(circuit45, "retention")
+        self.train(policy, 300)
+        assert policy.decide(0x400000, 0, 300).mode == "retention"
+
+    def test_dual_confident_long_stall_goes_full(self, circuit45):
+        policy = self.make_policy(circuit45, "dual")
+        self.train(policy, 300)
+        decision = policy.decide(0x400000, 0, 300)
+        assert decision.gate
+        assert decision.mode == "full"
+
+    def test_dual_cold_start_goes_retention(self, circuit45):
+        policy = self.make_policy(circuit45, "dual")
+        decision = policy.decide(0x999000, 0, 300)  # untrained pc
+        assert decision.gate
+        assert decision.mode == "retention"
+
+    def test_config_rejects_unknown_sleep_mode(self):
+        with pytest.raises(ConfigError):
+            GatingConfig(sleep_mode="drowsy")
+
+
+class TestControllerIntegration:
+    def test_retention_intervals_use_retention_state(self, circuit45, power_model):
+        config = GatingConfig(policy="mapg", sleep_mode="retention")
+        analyzer = BreakEvenAnalyzer(circuit45, config)
+        policy = MapgPolicy(analyzer, HistoryTablePredictor(initial_cycles=STATIC),
+                            config, STATIC)
+        controller = MapgController(policy, analyzer, power_model)
+        outcome = controller.process_stall(pc=0, bank=0, actual_stall_cycles=300)
+        states = {state for state, __ in outcome.intervals}
+        assert PowerState.SLEEP_RETENTION in states
+        assert PowerState.SLEEP not in states
+        assert controller.counters.get("gated_retention") == 1
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        config = SystemConfig()
+        base = run_workload(with_policy(config, "never"), "mcf_like", 3000, seed=7)
+        results = {"never": base}
+        for mode in ("full", "retention", "dual"):
+            results[mode] = run_workload(
+                with_policy(config, "mapg", sleep_mode=mode),
+                "mcf_like", 3000, seed=7)
+        return results
+
+    def test_retention_penalty_not_worse_than_full(self, runs):
+        assert runs["retention"].penalty_cycles <= runs["full"].penalty_cycles
+
+    def test_full_saves_at_least_as_much_as_retention(self, runs):
+        save_full = runs["never"].energy_j - runs["full"].energy_j
+        save_ret = runs["never"].energy_j - runs["retention"].energy_j
+        assert save_full >= save_ret * 0.98
+
+    def test_dual_uses_both_modes(self, runs):
+        counters = runs["dual"].controller_counters
+        assert counters.get("gated_full", 0) > 0
+        assert counters.get("gated_retention", 0) > 0
+
+    def test_retention_cycles_ledgered_separately(self, runs):
+        assert runs["retention"].state_cycles.get("sleep_retention", 0) > 0
+        assert runs["retention"].state_cycles.get("sleep", 0) == 0

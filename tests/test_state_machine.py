@@ -1,0 +1,77 @@
+"""Tests for the power-gate state machine."""
+
+import pytest
+
+from repro.core.state import PgState, PowerGateStateMachine, power_state_of
+from repro.errors import SimulationError
+from repro.power.model import PowerState
+
+
+class TestTransitions:
+    def test_full_gating_cycle_legal(self):
+        machine = PowerGateStateMachine()
+        for state, cycle in ((PgState.STALL, 10), (PgState.DRAIN, 20),
+                             (PgState.SLEEP, 34), (PgState.WAKE, 150),
+                             (PgState.ACTIVE, 167)):
+            machine.transition(state, cycle)
+        assert machine.state is PgState.ACTIVE
+
+    def test_token_wait_path_legal(self):
+        machine = PowerGateStateMachine()
+        machine.transition(PgState.DRAIN, 10)
+        machine.transition(PgState.SLEEP, 24)
+        machine.transition(PgState.TOKEN_WAIT, 100)
+        machine.transition(PgState.WAKE, 130)
+        machine.transition(PgState.STALL, 147)
+
+    def test_drain_abort_to_stall_legal(self):
+        machine = PowerGateStateMachine()
+        machine.transition(PgState.DRAIN, 10)
+        machine.transition(PgState.STALL, 15)
+
+    def test_sleep_to_active_illegal(self):
+        machine = PowerGateStateMachine()
+        machine.transition(PgState.DRAIN, 10)
+        machine.transition(PgState.SLEEP, 24)
+        with pytest.raises(SimulationError, match="sleep -> active"):
+            machine.transition(PgState.ACTIVE, 100)
+
+    def test_active_to_wake_illegal(self):
+        machine = PowerGateStateMachine()
+        with pytest.raises(SimulationError):
+            machine.transition(PgState.WAKE, 10)
+
+    def test_self_transition_is_noop(self):
+        machine = PowerGateStateMachine()
+        machine.transition(PgState.ACTIVE, 50)
+        assert machine.ledger.transitions == 0
+
+    def test_can_transition_query(self):
+        machine = PowerGateStateMachine()
+        assert machine.can_transition(PgState.STALL)
+        assert not machine.can_transition(PgState.SLEEP)
+
+
+class TestLedgerIntegration:
+    def test_time_in_states(self):
+        machine = PowerGateStateMachine()
+        machine.transition(PgState.STALL, 100)
+        machine.transition(PgState.ACTIVE, 150)
+        machine.finish(200)
+        assert machine.time_in(PgState.ACTIVE) == 150
+        assert machine.time_in(PgState.STALL) == 50
+
+    def test_finish_closes_ledger(self):
+        machine = PowerGateStateMachine()
+        machine.finish(10)
+        with pytest.raises(SimulationError):
+            machine.transition(PgState.STALL, 20)
+
+
+class TestPowerStateMapping:
+    def test_every_pg_state_maps(self):
+        for state in PgState:
+            assert isinstance(power_state_of(state), PowerState)
+
+    def test_sleep_maps_to_sleep(self):
+        assert power_state_of(PgState.SLEEP) is PowerState.SLEEP

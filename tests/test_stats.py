@@ -1,0 +1,261 @@
+"""Tests for repro.stats: counters, running means, histograms, intervals."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.stats import CounterSet, Histogram, IntervalAccumulator, RunningMean
+from repro.stats.counters import geometric_mean
+
+
+class TestCounterSet:
+    def test_add_and_get(self):
+        counters = CounterSet()
+        counters.add("hits")
+        counters.add("hits", 2)
+        assert counters.get("hits") == 3
+
+    def test_untouched_counter_is_zero(self):
+        assert CounterSet().get("nothing") == 0.0
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ValueError):
+            CounterSet().add("x", -1)
+
+    def test_ratio(self):
+        counters = CounterSet()
+        counters.add("hits", 3)
+        counters.add("accesses", 4)
+        assert counters.ratio("hits", "accesses") == pytest.approx(0.75)
+
+    def test_ratio_zero_denominator(self):
+        counters = CounterSet()
+        counters.add("hits", 3)
+        assert counters.ratio("hits", "accesses") == 0.0
+
+    def test_merge_accumulates(self):
+        a, b = CounterSet(), CounterSet()
+        a.add("x", 1)
+        b.add("x", 2)
+        b.add("y", 5)
+        a.merge(b)
+        assert a.get("x") == 3
+        assert a.get("y") == 5
+
+    def test_items_sorted(self):
+        counters = CounterSet()
+        counters.add("zeta")
+        counters.add("alpha")
+        assert [name for name, __ in counters.items()] == ["alpha", "zeta"]
+
+    def test_contains_and_len(self):
+        counters = CounterSet()
+        counters.add("x")
+        assert "x" in counters
+        assert "y" not in counters
+        assert len(counters) == 1
+
+
+class TestRunningMean:
+    def test_mean_of_known_values(self):
+        stream = RunningMean()
+        for value in (1.0, 2.0, 3.0, 4.0):
+            stream.observe(value)
+        assert stream.mean == pytest.approx(2.5)
+        assert stream.count == 4
+
+    def test_variance_population(self):
+        stream = RunningMean()
+        for value in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+            stream.observe(value)
+        assert stream.variance == pytest.approx(4.0)
+        assert stream.stddev == pytest.approx(2.0)
+
+    def test_empty_stream_zeroes(self):
+        stream = RunningMean()
+        assert stream.mean == 0.0
+        assert stream.variance == 0.0
+
+    def test_single_value_zero_variance(self):
+        stream = RunningMean()
+        stream.observe(7.0)
+        assert stream.variance == 0.0
+
+    def test_merge_matches_combined_stream(self):
+        left, right, combined = RunningMean(), RunningMean(), RunningMean()
+        data_left = [1.0, 5.0, 2.0]
+        data_right = [10.0, 0.5, 3.0, 8.0]
+        for value in data_left:
+            left.observe(value)
+            combined.observe(value)
+        for value in data_right:
+            right.observe(value)
+            combined.observe(value)
+        left.merge(right)
+        assert left.count == combined.count
+        assert left.mean == pytest.approx(combined.mean)
+        assert left.variance == pytest.approx(combined.variance)
+
+    def test_merge_into_empty(self):
+        left, right = RunningMean(), RunningMean()
+        right.observe(4.0)
+        left.merge(right)
+        assert left.mean == pytest.approx(4.0)
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean({"a": 2.0, "b": 8.0}) == pytest.approx(4.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean({})
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean({"a": 0.0})
+
+
+class TestHistogram:
+    def test_bucket_assignment(self):
+        histogram = Histogram([0.0, 10.0, 20.0])
+        histogram.observe(5.0)
+        histogram.observe(15.0)
+        histogram.observe(15.0)
+        counts = {(low, high): n for low, high, n in histogram.bucket_counts()}
+        assert counts[(0.0, 10.0)] == 1
+        assert counts[(10.0, 20.0)] == 2
+
+    def test_underflow_overflow(self):
+        histogram = Histogram([0.0, 10.0])
+        histogram.observe(-5.0)
+        histogram.observe(100.0)
+        assert histogram.underflow == 1
+        assert histogram.overflow == 1
+
+    def test_boundary_goes_to_upper_bucket(self):
+        histogram = Histogram([0.0, 10.0, 20.0])
+        histogram.observe(10.0)
+        counts = {(low, high): n for low, high, n in histogram.bucket_counts()}
+        assert counts[(10.0, 20.0)] == 1
+
+    def test_summary_statistics(self):
+        histogram = Histogram([0.0, 100.0])
+        for value in (10.0, 20.0, 30.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.mean == pytest.approx(20.0)
+        assert histogram.min == 10.0
+        assert histogram.max == 30.0
+
+    def test_percentile_exact_with_samples(self):
+        histogram = Histogram([0.0, 200.0])
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        assert histogram.percentile(50) == pytest.approx(50.5)
+        assert histogram.percentile(0) == 1.0
+        assert histogram.percentile(100) == 100.0
+
+    def test_percentile_estimate_without_samples(self):
+        histogram = Histogram([0.0, 10.0, 20.0], keep_samples=False)
+        for value in (1.0, 2.0, 3.0, 11.0, 12.0, 13.0):
+            histogram.observe(value)
+        # Median should sit near the 0-10/10-20 boundary.
+        assert 5.0 <= histogram.percentile(50) <= 15.0
+
+    def test_percentile_out_of_range(self):
+        with pytest.raises(ValueError):
+            Histogram([0.0, 1.0]).percentile(101)
+
+    def test_linear_constructor(self):
+        histogram = Histogram.linear(0.0, 100.0, 10)
+        assert len(histogram.bucket_counts()) == 10
+
+    def test_exponential_constructor(self):
+        histogram = Histogram.exponential(1.0, 2.0, 4)
+        edges = [low for low, __, __ in histogram.bucket_counts()]
+        assert edges == pytest.approx([1.0, 2.0, 4.0, 8.0])
+
+    def test_exponential_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            Histogram.exponential(1.0, 1.0, 4)
+
+    def test_rejects_unsorted_edges(self):
+        with pytest.raises(ValueError):
+            Histogram([0.0, 5.0, 5.0])
+
+    def test_normalized_sums_to_one_in_range(self):
+        histogram = Histogram([0.0, 10.0, 20.0])
+        for value in (1.0, 5.0, 15.0, 19.0):
+            histogram.observe(value)
+        assert sum(histogram.normalized().values()) == pytest.approx(1.0)
+
+    def test_observe_many(self):
+        histogram = Histogram([0.0, 10.0])
+        histogram.observe_many([1.0, 2.0, 3.0])
+        assert histogram.count == 3
+
+    def test_weighted_observe(self):
+        histogram = Histogram([0.0, 10.0])
+        histogram.observe(5.0, count=4)
+        assert histogram.count == 4
+
+
+class TestIntervalAccumulator:
+    def test_basic_accounting(self):
+        acc = IntervalAccumulator("active")
+        acc.switch("stall", 100)
+        acc.switch("active", 150)
+        acc.close(200)
+        assert acc.total("active") == 150
+        assert acc.total("stall") == 50
+        assert acc.grand_total() == 200
+
+    def test_same_state_switch_is_noop(self):
+        acc = IntervalAccumulator("active")
+        acc.switch("active", 50)
+        assert acc.transitions == 0
+
+    def test_time_backwards_rejected(self):
+        acc = IntervalAccumulator("active")
+        acc.switch("stall", 100)
+        with pytest.raises(SimulationError):
+            acc.switch("active", 50)
+
+    def test_close_backwards_rejected(self):
+        acc = IntervalAccumulator("active", start_cycle=100)
+        with pytest.raises(SimulationError):
+            acc.close(50)
+
+    def test_switch_after_close_rejected(self):
+        acc = IntervalAccumulator("active")
+        acc.close(10)
+        with pytest.raises(SimulationError):
+            acc.switch("stall", 20)
+
+    def test_double_close_rejected(self):
+        acc = IntervalAccumulator("active")
+        acc.close(10)
+        with pytest.raises(SimulationError):
+            acc.close(20)
+
+    def test_records_kept_and_contiguous(self):
+        acc = IntervalAccumulator("a", keep_records=True)
+        acc.switch("b", 10)
+        acc.switch("c", 25)
+        acc.close(40)
+        records = acc.records()
+        assert [(r.state, r.start, r.end) for r in records] == [
+            ("a", 0, 10), ("b", 10, 25), ("c", 25, 40)]
+        acc.verify_contiguous()
+
+    def test_records_unavailable_by_default(self):
+        acc = IntervalAccumulator("a")
+        acc.close(5)
+        with pytest.raises(SimulationError):
+            acc.records()
+
+    def test_zero_length_interval_not_recorded(self):
+        acc = IntervalAccumulator("a", keep_records=True)
+        acc.switch("b", 0)
+        acc.close(10)
+        assert [r.state for r in acc.records()] == ["b"]

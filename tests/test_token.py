@@ -1,0 +1,75 @@
+"""Tests for the TAP token arbiter."""
+
+import pytest
+
+from repro.config import TokenConfig
+from repro.core.token import TokenArbiter
+from repro.errors import SimulationError
+
+
+def make_arbiter(tokens=2, limit=1000):
+    return TokenArbiter(TokenConfig(enabled=True, wake_tokens=tokens,
+                                    token_wait_limit_cycles=limit))
+
+
+class TestGrants:
+    def test_free_token_granted_immediately(self):
+        arbiter = make_arbiter(tokens=2)
+        assert arbiter.request(core_id=0, trigger_cycle=100, hold_cycles=20) == 0
+
+    def test_concurrent_requests_up_to_token_count(self):
+        arbiter = make_arbiter(tokens=3)
+        delays = [arbiter.request(core_id=i, trigger_cycle=50, hold_cycles=20)
+                  for i in range(3)]
+        assert delays == [0, 0, 0]
+
+    def test_excess_request_deferred_until_release(self):
+        arbiter = make_arbiter(tokens=1)
+        arbiter.request(core_id=0, trigger_cycle=100, hold_cycles=30)
+        delay = arbiter.request(core_id=1, trigger_cycle=110, hold_cycles=30)
+        assert delay == 20  # token frees at 130
+
+    def test_serialized_chain(self):
+        arbiter = make_arbiter(tokens=1)
+        delays = [arbiter.request(core_id=i, trigger_cycle=0, hold_cycles=10)
+                  for i in range(4)]
+        assert delays == [0, 10, 20, 30]
+
+    def test_token_reusable_after_release(self):
+        arbiter = make_arbiter(tokens=1)
+        arbiter.request(core_id=0, trigger_cycle=0, hold_cycles=10)
+        assert arbiter.request(core_id=1, trigger_cycle=50, hold_cycles=10) == 0
+
+
+class TestWaitLimit:
+    def test_forced_grant_at_limit(self):
+        arbiter = make_arbiter(tokens=1, limit=5)
+        arbiter.request(core_id=0, trigger_cycle=0, hold_cycles=100)
+        delay = arbiter.request(core_id=1, trigger_cycle=0, hold_cycles=100)
+        assert delay == 5
+        assert arbiter.counters.get("forced_grants") == 1
+
+    def test_counters_distinguish_deferred_and_forced(self):
+        arbiter = make_arbiter(tokens=1, limit=1000)
+        arbiter.request(core_id=0, trigger_cycle=0, hold_cycles=30)
+        arbiter.request(core_id=1, trigger_cycle=0, hold_cycles=30)
+        assert arbiter.counters.get("deferred_grants") == 1
+        assert arbiter.counters.get("forced_grants") == 0
+
+
+class TestBookkeeping:
+    def test_out_of_order_requests_counted_not_fatal(self):
+        arbiter = make_arbiter(tokens=2)
+        arbiter.request(core_id=0, trigger_cycle=100, hold_cycles=10)
+        arbiter.request(core_id=1, trigger_cycle=50, hold_cycles=10)
+        assert arbiter.counters.get("out_of_order_requests") == 1
+
+    def test_negative_inputs_rejected(self):
+        arbiter = make_arbiter()
+        with pytest.raises(SimulationError):
+            arbiter.request(core_id=0, trigger_cycle=-1, hold_cycles=10)
+        with pytest.raises(SimulationError):
+            arbiter.request(core_id=0, trigger_cycle=0, hold_cycles=-1)
+
+    def test_max_concurrent_wakes(self):
+        assert make_arbiter(tokens=4).max_concurrent_wakes == 4

@@ -1,0 +1,135 @@
+"""Tests for the trace format and serialization."""
+
+import io
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace import (
+    ComputeBlock,
+    MemoryAccess,
+    read_trace,
+    read_trace_file,
+    trace_summary,
+    write_trace,
+    write_trace_file,
+)
+
+
+class TestRecords:
+    def test_compute_block_requires_positive_count(self):
+        with pytest.raises(TraceError):
+            ComputeBlock(instructions=0)
+
+    def test_memory_access_rejects_negative_address(self):
+        with pytest.raises(TraceError):
+            MemoryAccess(address=-1)
+
+    def test_memory_access_rejects_negative_pc(self):
+        with pytest.raises(TraceError):
+            MemoryAccess(address=0, pc=-4)
+
+    def test_records_are_hashable_value_objects(self):
+        assert MemoryAccess(64, pc=8) == MemoryAccess(64, pc=8)
+        assert len({ComputeBlock(3), ComputeBlock(3)}) == 1
+
+
+class TestSummary:
+    def test_counts(self):
+        ops = [ComputeBlock(10), MemoryAccess(0, is_write=True),
+               ComputeBlock(5), MemoryAccess(64)]
+        summary = trace_summary(ops)
+        assert summary["instructions"] == 17
+        assert summary["memory_accesses"] == 2
+        assert summary["writes"] == 1
+        assert summary["ops"] == 4
+
+    def test_empty_trace(self):
+        summary = trace_summary([])
+        assert summary["instructions"] == 0
+        assert summary["ops"] == 0
+
+    def test_rejects_foreign_records(self):
+        with pytest.raises(TraceError):
+            trace_summary([object()])
+
+
+SAMPLE_OPS = [
+    ComputeBlock(12),
+    MemoryAccess(address=0x1000, pc=0x400010, is_write=False),
+    MemoryAccess(address=0xDEADBEEF00, pc=0x400020, is_write=True),
+    ComputeBlock(1),
+]
+
+
+class TestJsonl:
+    def test_roundtrip(self):
+        buffer = io.StringIO()
+        count = write_trace(SAMPLE_OPS, buffer)
+        assert count == len(SAMPLE_OPS)
+        buffer.seek(0)
+        assert list(read_trace(buffer)) == SAMPLE_OPS
+
+    def test_blank_lines_skipped(self):
+        buffer = io.StringIO('{"kind":"compute","n":3}\n\n\n')
+        assert list(read_trace(buffer)) == [ComputeBlock(3)]
+
+    def test_invalid_json_line_reported_with_number(self):
+        buffer = io.StringIO('{"kind":"compute","n":3}\nnot json\n')
+        with pytest.raises(TraceError, match="line 2"):
+            list(read_trace(buffer))
+
+    def test_unknown_kind_rejected(self):
+        buffer = io.StringIO('{"kind":"branch"}\n')
+        with pytest.raises(TraceError):
+            list(read_trace(buffer))
+
+    def test_non_object_record_rejected(self):
+        buffer = io.StringIO("[1,2]\n")
+        with pytest.raises(TraceError):
+            list(read_trace(buffer))
+
+
+class TestFiles:
+    def test_jsonl_file_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_trace_file(SAMPLE_OPS, path)
+        assert read_trace_file(path) == SAMPLE_OPS
+
+    def test_binary_file_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.bin"
+        write_trace_file(SAMPLE_OPS, path)
+        assert read_trace_file(path) == SAMPLE_OPS
+
+    def test_binary_smaller_than_text_for_long_traces(self, tmp_path):
+        ops = [MemoryAccess(address=64 * i, pc=0x400000) for i in range(500)]
+        text_path = tmp_path / "t.jsonl"
+        bin_path = tmp_path / "t.bin"
+        write_trace_file(ops, text_path)
+        write_trace_file(ops, bin_path)
+        assert bin_path.stat().st_size < text_path.stat().st_size
+
+    def test_unknown_suffix_rejected(self, tmp_path):
+        with pytest.raises(TraceError):
+            write_trace_file(SAMPLE_OPS, tmp_path / "trace.csv")
+        with pytest.raises(TraceError):
+            read_trace_file(tmp_path / "trace.csv")
+
+    def test_truncated_binary_detected(self, tmp_path):
+        path = tmp_path / "trace.bin"
+        write_trace_file(SAMPLE_OPS, path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-3])
+        with pytest.raises(TraceError, match="truncated"):
+            read_trace_file(path)
+
+    def test_unknown_binary_kind_detected(self, tmp_path):
+        path = tmp_path / "trace.bin"
+        path.write_bytes(b"\xff" + b"\x00" * 8)
+        with pytest.raises(TraceError, match="kind"):
+            read_trace_file(path)
+
+    def test_empty_binary_file(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        path.write_bytes(b"")
+        assert read_trace_file(path) == []

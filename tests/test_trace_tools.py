@@ -1,0 +1,135 @@
+"""Tests for trace transformation tools."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.format import ComputeBlock, MemoryAccess, trace_summary
+from repro.trace.tools import (
+    interleave,
+    remap_addresses,
+    scale_compute,
+    skip,
+    truncate,
+    window_summaries,
+)
+
+OPS = [ComputeBlock(10), MemoryAccess(0x1000, pc=4),
+       ComputeBlock(5), MemoryAccess(0x2000, pc=8, is_write=True)]
+
+
+class TestTruncateSkip:
+    def test_truncate(self):
+        assert list(truncate(OPS, 2)) == OPS[:2]
+
+    def test_truncate_beyond_end(self):
+        assert list(truncate(OPS, 100)) == OPS
+
+    def test_truncate_zero(self):
+        assert list(truncate(OPS, 0)) == []
+
+    def test_skip(self):
+        assert list(skip(OPS, 2)) == OPS[2:]
+
+    def test_skip_all(self):
+        assert list(skip(OPS, 100)) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(TraceError):
+            list(truncate(OPS, -1))
+        with pytest.raises(TraceError):
+            list(skip(OPS, -1))
+
+    def test_compose_skip_truncate(self):
+        assert list(truncate(skip(OPS, 1), 2)) == OPS[1:3]
+
+
+class TestRemap:
+    def test_addresses_shifted_pcs_kept(self):
+        remapped = list(remap_addresses(OPS, 0x10_0000))
+        accesses = [op for op in remapped if isinstance(op, MemoryAccess)]
+        assert accesses[0].address == 0x1000 + 0x10_0000
+        assert accesses[0].pc == 4
+        assert accesses[1].is_write
+
+    def test_compute_blocks_untouched(self):
+        remapped = list(remap_addresses(OPS, 64))
+        assert remapped[0] == OPS[0]
+
+    def test_negative_result_rejected(self):
+        with pytest.raises(TraceError):
+            list(remap_addresses(OPS, -0x100_0000))
+
+
+class TestInterleave:
+    def test_round_robin_order(self):
+        a = [ComputeBlock(1), ComputeBlock(2)]
+        b = [ComputeBlock(10), ComputeBlock(20)]
+        merged = list(interleave([a, b]))
+        assert merged == [ComputeBlock(1), ComputeBlock(10),
+                          ComputeBlock(2), ComputeBlock(20)]
+
+    def test_chunked(self):
+        a = [ComputeBlock(1), ComputeBlock(2), ComputeBlock(3)]
+        b = [ComputeBlock(10)]
+        merged = list(interleave([a, b], chunk_ops=2))
+        assert merged == [ComputeBlock(1), ComputeBlock(2),
+                          ComputeBlock(10), ComputeBlock(3)]
+
+    def test_uneven_lengths_drain_completely(self):
+        a = [ComputeBlock(1)] * 5
+        b = [ComputeBlock(2)] * 2
+        merged = list(interleave([a, b]))
+        assert len(merged) == 7
+
+    def test_preserves_total_instruction_count(self):
+        a = OPS
+        b = list(remap_addresses(OPS, 1 << 30))
+        merged = list(interleave([a, b]))
+        assert trace_summary(merged)["instructions"] == \
+            2 * trace_summary(OPS)["instructions"]
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(TraceError):
+            list(interleave([]))
+        with pytest.raises(TraceError):
+            list(interleave([OPS], chunk_ops=0))
+
+
+class TestScaleCompute:
+    def test_doubling(self):
+        scaled = list(scale_compute(OPS, 2.0))
+        assert scaled[0] == ComputeBlock(20)
+        assert scaled[1] == OPS[1]  # memory untouched
+
+    def test_shrink_clamps_to_one(self):
+        scaled = list(scale_compute([ComputeBlock(1)], 0.01))
+        assert scaled == [ComputeBlock(1)]
+
+    def test_op_count_preserved(self):
+        assert len(list(scale_compute(OPS, 3.7))) == len(OPS)
+
+    def test_zero_factor_rejected(self):
+        with pytest.raises(TraceError):
+            list(scale_compute(OPS, 0.0))
+
+
+class TestWindows:
+    def test_window_counts(self):
+        windows = window_summaries(OPS, window_ops=2)
+        assert len(windows) == 2
+        assert windows[0] == {"instructions": 11, "memory_accesses": 1,
+                              "writes": 0, "ops": 2}
+        assert windows[1]["writes"] == 1
+
+    def test_partial_final_window(self):
+        windows = window_summaries(OPS, window_ops=3)
+        assert len(windows) == 2
+        assert windows[1]["ops"] == 1
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(TraceError):
+            window_summaries(OPS, 0)
+
+    def test_foreign_record_rejected(self):
+        with pytest.raises(TraceError):
+            window_summaries([object()], 2)

@@ -1,0 +1,80 @@
+"""Tests for repro.units: conversions and SI formatting."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.units import (
+    GHZ,
+    NS,
+    cycles_to_seconds,
+    energy_joules,
+    format_si,
+    seconds_to_cycles,
+    seconds_to_cycles_ceil,
+)
+
+
+class TestCycleConversions:
+    def test_cycles_to_seconds_at_1ghz(self):
+        assert cycles_to_seconds(1_000_000_000, 1 * GHZ) == pytest.approx(1.0)
+
+    def test_cycles_to_seconds_at_2ghz(self):
+        assert cycles_to_seconds(2, 2 * GHZ) == pytest.approx(1e-9)
+
+    def test_seconds_to_cycles_roundtrip(self):
+        assert seconds_to_cycles(cycles_to_seconds(123, 2 * GHZ), 2 * GHZ) == pytest.approx(123)
+
+    def test_ceil_rounds_partial_cycles_up(self):
+        # 3.2 cycles of latency occupies 4 clock edges.
+        assert seconds_to_cycles_ceil(1.6 * NS, 2 * GHZ) == 4
+
+    def test_ceil_exact_cycle_count_not_inflated(self):
+        assert seconds_to_cycles_ceil(2.0 * NS, 2 * GHZ) == 4
+
+    def test_ceil_zero(self):
+        assert seconds_to_cycles_ceil(0.0, 2 * GHZ) == 0
+
+    def test_zero_frequency_rejected(self):
+        with pytest.raises(ConfigError):
+            cycles_to_seconds(1, 0.0)
+
+    def test_negative_frequency_rejected(self):
+        with pytest.raises(ConfigError):
+            seconds_to_cycles(1.0, -1.0)
+
+
+class TestEnergy:
+    def test_energy_is_power_times_time(self):
+        assert energy_joules(2.0, 3.0) == pytest.approx(6.0)
+
+    def test_zero_duration_zero_energy(self):
+        assert energy_joules(5.0, 0.0) == 0.0
+
+
+class TestFormatSi:
+    def test_nanoseconds(self):
+        assert format_si(2.5e-9, "s") == "2.5 ns"
+
+    def test_milliwatts(self):
+        assert format_si(3.0e-3, "W") == "3 mW"
+
+    def test_unit_scale(self):
+        assert format_si(42.0, "J") == "42 J"
+
+    def test_zero(self):
+        assert format_si(0.0, "W") == "0 W"
+
+    def test_negative_value_keeps_sign(self):
+        assert format_si(-1.5e-9, "s").startswith("-1.5")
+
+    def test_giga(self):
+        assert format_si(2e9, "Hz") == "2 GHz"
+
+    def test_tiny_value_falls_back_to_scientific(self):
+        text = format_si(1e-21, "s")
+        assert "e-21" in text
+
+    def test_precision_control(self):
+        assert format_si(math.pi * 1e-9, "s", precision=5) == "3.1416 ns"

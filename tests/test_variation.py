@@ -1,0 +1,85 @@
+"""Tests for die-to-die leakage variation."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.power.variation import LeakageVariationModel, _probit
+
+
+class TestProbit:
+    def test_median_is_zero(self):
+        assert _probit(0.5) == pytest.approx(0.0, abs=1e-9)
+
+    @pytest.mark.parametrize("q,z", [(0.8413, 1.0), (0.9772, 2.0),
+                                     (0.1587, -1.0), (0.0228, -2.0)])
+    def test_known_quantiles(self, q, z):
+        assert _probit(q) == pytest.approx(z, abs=2e-3)
+
+    def test_tails(self):
+        assert _probit(0.001) < -3.0
+        assert _probit(0.999) > 3.0
+
+    def test_out_of_range(self):
+        with pytest.raises(ConfigError):
+            _probit(0.0)
+        with pytest.raises(ConfigError):
+            _probit(1.0)
+
+
+class TestVariationModel:
+    def test_deterministic_per_seed(self, tech45):
+        a = LeakageVariationModel(tech45, seed=9).sample_population(20)
+        b = LeakageVariationModel(tech45, seed=9).sample_population(20)
+        assert [d.leakage_multiplier for d in a] == \
+            [d.leakage_multiplier for d in b]
+
+    def test_median_near_one(self, tech45):
+        model = LeakageVariationModel(tech45, sigma_log=0.3, seed=3)
+        samples = sorted(model.sample_multiplier() for __ in range(2001))
+        assert samples[1000] == pytest.approx(1.0, rel=0.1)
+
+    def test_zero_sigma_degenerates_to_nominal(self, tech45):
+        model = LeakageVariationModel(tech45, sigma_log=0.0, seed=3)
+        assert all(model.sample_multiplier() == pytest.approx(1.0)
+                   for __ in range(10))
+
+    def test_negative_sigma_rejected(self, tech45):
+        with pytest.raises(ConfigError):
+            LeakageVariationModel(tech45, sigma_log=-0.1)
+
+    def test_population_size_validated(self, tech45):
+        with pytest.raises(ConfigError):
+            LeakageVariationModel(tech45).sample_population(0)
+
+    def test_percentile_multiplier_analytic(self, tech45):
+        model = LeakageVariationModel(tech45, sigma_log=0.3)
+        assert model.percentile_multiplier(50) == pytest.approx(1.0, abs=1e-6)
+        assert model.percentile_multiplier(84.13) == pytest.approx(
+            math.exp(0.3), rel=1e-2)
+
+
+class TestDieCircuits:
+    def test_leaky_die_has_shorter_bet(self, tech45):
+        model = LeakageVariationModel(tech45, sigma_log=0.5, seed=7)
+        dies = model.sample_population(40)
+        leaky = max(dies, key=lambda d: d.leakage_multiplier)
+        strong = min(dies, key=lambda d: d.leakage_multiplier)
+        assert leaky.network.breakeven_time_s() < strong.network.breakeven_time_s()
+
+    def test_die_leakage_scales_with_multiplier(self, tech45):
+        model = LeakageVariationModel(tech45, sigma_log=0.5, seed=7)
+        die = model.sample_die(0)
+        nominal = tech45.core_leakage_power_w  # nominal temp = char temp
+        assert die.network.domain_leakage_power_w == pytest.approx(
+            nominal * die.leakage_multiplier)
+
+    def test_die_net_saving_ordering(self, tech45):
+        """For the same sleep, the leakier die always nets more saving."""
+        model = LeakageVariationModel(tech45, sigma_log=0.5, seed=7)
+        dies = sorted(model.sample_population(10),
+                      key=lambda d: d.leakage_multiplier)
+        sleep_s = 100e-9
+        savings = [die.network.net_saving_j(sleep_s) for die in dies]
+        assert savings == sorted(savings)

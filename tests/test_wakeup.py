@@ -1,0 +1,138 @@
+"""Tests for the wakeup timing algebra — MAPG's defining mechanism."""
+
+import pytest
+
+from repro.core.wakeup import WakeupPlan, plan_wakeup, resolve_wakeup
+from repro.errors import SimulationError
+
+DRAIN = 14
+WAKE = 17
+
+
+class TestPlanWakeup:
+    def test_early_wakeup_backs_off_from_prediction(self):
+        assert plan_wakeup(200, DRAIN, WAKE, early_wakeup=True) == 200 - WAKE
+
+    def test_never_before_drain_end(self):
+        assert plan_wakeup(20, DRAIN, WAKE, early_wakeup=True) == DRAIN
+
+    def test_disabled_returns_none(self):
+        assert plan_wakeup(200, DRAIN, WAKE, early_wakeup=False) is None
+
+    def test_rejects_negative(self):
+        with pytest.raises(SimulationError):
+            plan_wakeup(-1, DRAIN, WAKE, early_wakeup=True)
+
+
+class TestResolvePerfectPrediction:
+    def test_exact_prediction_zero_penalty(self):
+        stall = 200
+        plan = resolve_wakeup(stall, DRAIN, WAKE, planned_wake_offset=stall - WAKE)
+        assert plan.penalty == 0
+        assert plan.idle_awake == 0
+        assert plan.sleep == stall - WAKE - DRAIN
+        assert plan.total == stall
+
+    def test_tiling_invariant(self):
+        stall = 200
+        plan = resolve_wakeup(stall, DRAIN, WAKE, planned_wake_offset=stall - WAKE)
+        assert plan.drain + plan.sleep + plan.wake + plan.idle_awake == \
+            stall + plan.penalty
+
+
+class TestResolveNaive:
+    def test_return_triggered_wake_pays_full_latency(self):
+        stall = 200
+        plan = resolve_wakeup(stall, DRAIN, WAKE, planned_wake_offset=None)
+        assert plan.penalty == WAKE
+        assert plan.sleep == stall - DRAIN
+        assert plan.total == stall + WAKE
+
+
+class TestResolveMisprediction:
+    def test_underestimate_wakes_early_and_idles(self):
+        stall = 200
+        predicted = 150  # woke 50 cycles too early
+        plan = resolve_wakeup(stall, DRAIN, WAKE,
+                              planned_wake_offset=predicted - WAKE)
+        assert plan.penalty == 0
+        assert plan.idle_awake == stall - predicted
+        assert plan.sleep == predicted - WAKE - DRAIN
+
+    def test_overestimate_falls_back_to_return_trigger(self):
+        stall = 200
+        predicted = 400  # planned wake would start after the data returned
+        plan = resolve_wakeup(stall, DRAIN, WAKE,
+                              planned_wake_offset=predicted - WAKE)
+        # Fallback bounds the loss at exactly the naive penalty.
+        assert plan.penalty == WAKE
+        assert plan.sleep == stall - DRAIN
+
+    def test_slight_overestimate_partial_penalty(self):
+        stall = 200
+        predicted = 205  # wake starts at 188, ready at 205: 5 late
+        plan = resolve_wakeup(stall, DRAIN, WAKE,
+                              planned_wake_offset=predicted - WAKE)
+        assert plan.penalty == 5
+        assert plan.idle_awake == 0
+
+
+class TestResolveAbort:
+    def test_data_during_drain_aborts(self):
+        plan = resolve_wakeup(10, DRAIN, WAKE, planned_wake_offset=None)
+        assert plan.sleep == 0
+        assert plan.wake == 0
+        assert plan.penalty == 0
+        assert plan.drain == 10
+
+    def test_stall_equal_to_drain_aborts(self):
+        plan = resolve_wakeup(DRAIN, DRAIN, WAKE, planned_wake_offset=None)
+        assert plan.wake == 0
+        assert plan.drain == DRAIN
+
+
+class TestResolveTokenDelay:
+    def test_token_delay_extends_sleep(self):
+        stall = 200
+        without = resolve_wakeup(stall, DRAIN, WAKE, planned_wake_offset=None)
+        with_delay = resolve_wakeup(stall, DRAIN, WAKE,
+                                    planned_wake_offset=None, token_delay=30)
+        assert with_delay.sleep == without.sleep + 30
+        assert with_delay.token_wait == 30
+
+    def test_token_delay_adds_penalty_on_late_wake(self):
+        stall = 200
+        plan = resolve_wakeup(stall, DRAIN, WAKE,
+                              planned_wake_offset=None, token_delay=30)
+        assert plan.penalty == WAKE + 30
+
+    def test_token_delay_on_early_wake_can_be_free(self):
+        stall = 200
+        # Planned wake 60 cycles early; a 30-cycle token delay still lands
+        # the wake completion before the data return.
+        plan = resolve_wakeup(stall, DRAIN, WAKE,
+                              planned_wake_offset=stall - WAKE - 60,
+                              token_delay=30)
+        assert plan.penalty == 0
+        assert plan.idle_awake == 30
+
+
+class TestValidation:
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(SimulationError):
+            resolve_wakeup(-1, DRAIN, WAKE, None)
+        with pytest.raises(SimulationError):
+            resolve_wakeup(100, DRAIN, WAKE, None, token_delay=-1)
+
+    def test_offset_before_drain_rejected(self):
+        with pytest.raises(SimulationError):
+            resolve_wakeup(100, DRAIN, WAKE, planned_wake_offset=DRAIN - 1)
+
+    def test_plan_rejects_negative_fields(self):
+        with pytest.raises(SimulationError):
+            WakeupPlan(drain=-1, sleep=0, wake=0, idle_awake=0, penalty=0)
+
+    def test_plan_rejects_token_wait_exceeding_sleep(self):
+        with pytest.raises(SimulationError):
+            WakeupPlan(drain=0, sleep=5, wake=0, idle_awake=0, penalty=0,
+                       token_wait=6)

@@ -1,0 +1,168 @@
+"""Tests for the windowed-MLP core model."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import CacheConfig, CoreConfig, DramConfig, SystemConfig
+from repro.cpu.core import Core, StallSegment
+from repro.cpu.window import WindowedCore, make_core
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.sim.runner import run_workload, with_policy
+from repro.trace.format import ComputeBlock, MemoryAccess
+
+
+def make_windowed(window=2):
+    config = CoreConfig(miss_window=window)
+    l1 = CacheConfig(name="L1D", size_bytes=1024, line_bytes=64,
+                     associativity=2, hit_latency_cycles=2, mshr_entries=8)
+    l2 = CacheConfig(name="L2", size_bytes=4096, line_bytes=64,
+                     associativity=4, hit_latency_cycles=10, mshr_entries=8)
+    hierarchy = MemoryHierarchy(l1, l2, DramConfig(refresh_latency_ns=0.0),
+                                config.frequency_hz)
+    return WindowedCore(config, hierarchy)
+
+
+class TestFactory:
+    def test_window_one_builds_blocking_core(self):
+        core = make_core(CoreConfig(miss_window=1), make_windowed().hierarchy)
+        assert type(core) is Core
+
+    def test_window_above_one_builds_windowed(self):
+        core = make_core(CoreConfig(miss_window=4), make_windowed().hierarchy)
+        assert isinstance(core, WindowedCore)
+
+
+class TestOverlap:
+    def test_single_miss_does_not_stall(self):
+        """With a free window slot the core runs past the miss."""
+        core = make_windowed(window=2)
+        ops = [MemoryAccess(0x10000), ComputeBlock(50)]
+        segments = list(core.segments(ops))
+        assert all(not isinstance(s, StallSegment) for s in segments)
+        assert core.counters.get("overlapped_misses") == 1
+
+    def test_window_full_stalls_on_oldest(self):
+        core = make_windowed(window=1)
+        # Two independent misses back-to-back: second finds window full.
+        ops = [MemoryAccess(0x10000), MemoryAccess(0x90000)]
+        stalls = [s for s in core.segments(ops)
+                  if isinstance(s, StallSegment) and s.off_chip]
+        assert len(stalls) == 1
+        assert stalls[0].cycles > 50  # a near-full residual
+
+    def test_compute_between_misses_shortens_residual(self):
+        busy_gap = 100
+        near = make_windowed(window=1)
+        far = make_windowed(window=1)
+        ops_near = [MemoryAccess(0x10000), MemoryAccess(0x90000)]
+        ops_far = [MemoryAccess(0x10000), ComputeBlock(busy_gap),
+                   MemoryAccess(0x90000)]
+        stall_near = [s for s in near.segments(ops_near)
+                      if isinstance(s, StallSegment) and s.off_chip][0]
+        stall_far = [s for s in far.segments(ops_far)
+                     if isinstance(s, StallSegment) and s.off_chip][0]
+        assert stall_far.cycles < stall_near.cycles
+
+    def test_fully_hidden_miss_never_stalls(self):
+        core = make_windowed(window=2)
+        ops = [MemoryAccess(0x10000), ComputeBlock(1000),
+               MemoryAccess(0x90000)]
+        segments = list(core.segments(ops))
+        offchip = [s for s in segments
+                   if isinstance(s, StallSegment) and s.off_chip]
+        assert offchip == []
+        assert core.counters.get("hidden_misses") >= 1
+
+    def test_dependent_use_is_offchip_stall(self):
+        """A same-line access shortly after the miss stalls gateably."""
+        core = make_windowed(window=4)
+        ops = [MemoryAccess(0x10000), ComputeBlock(5), MemoryAccess(0x10020)]
+        stalls = [s for s in core.segments(ops)
+                  if isinstance(s, StallSegment) and s.off_chip]
+        assert len(stalls) == 1
+        assert stalls[0].dram_kind == "merged"
+        assert stalls[0].cycles > 50
+
+
+class TestPointerChaseDependence:
+    def test_dependent_access_stalls_on_producer(self):
+        core = make_windowed(window=8)
+        ops = [MemoryAccess(0x10000),
+               MemoryAccess(0x90000, dependent=True)]
+        stalls = [s for s in core.segments(ops)
+                  if isinstance(s, StallSegment) and s.off_chip]
+        # The chase serializes despite 8 free window slots.
+        assert len(stalls) == 1
+        assert core.counters.get("dependence_stalls") == 1
+        assert stalls[0].elapsed_cycles >= 0
+
+    def test_independent_access_overlaps(self):
+        core = make_windowed(window=8)
+        ops = [MemoryAccess(0x10000),
+               MemoryAccess(0x90000, dependent=False)]
+        stalls = [s for s in core.segments(ops)
+                  if isinstance(s, StallSegment) and s.off_chip]
+        assert stalls == []
+
+    def test_dependent_on_completed_producer_is_free(self):
+        core = make_windowed(window=8)
+        ops = [MemoryAccess(0x10000), ComputeBlock(1000),
+               MemoryAccess(0x90000, dependent=True)]
+        stalls = [s for s in core.segments(ops)
+                  if isinstance(s, StallSegment) and s.off_chip]
+        assert stalls == []  # producer long since returned
+
+    def test_generator_marks_chases_only_on_pointer_profiles(self):
+        from repro.workloads import generate_trace
+        mcf = generate_trace("mcf_like", 3000, seed=5)
+        quantum = generate_trace("libquantum_like", 3000, seed=5)
+        mcf_deps = sum(1 for op in mcf
+                       if isinstance(op, MemoryAccess) and op.dependent)
+        quantum_deps = sum(1 for op in quantum
+                           if isinstance(op, MemoryAccess) and op.dependent)
+        assert mcf_deps > 50
+        assert quantum_deps == 0
+
+    def test_dependence_flag_roundtrips_through_files(self, tmp_path):
+        from repro.trace.io import read_trace_file, write_trace_file
+        ops = [MemoryAccess(0x40, pc=4, dependent=True),
+               MemoryAccess(0x80, pc=8, is_write=True, dependent=False)]
+        for suffix in (".jsonl", ".bin"):
+            path = tmp_path / f"t{suffix}"
+            write_trace_file(ops, path)
+            assert read_trace_file(path) == ops
+
+
+class TestEndToEnd:
+    def test_wider_window_is_faster(self):
+        base = SystemConfig()
+        cycles = []
+        for window in (1, 2, 8):
+            config = base.replace(
+                core=dataclasses.replace(base.core, miss_window=window))
+            result = run_workload(with_policy(config, "never"),
+                                  "mcf_like", 2000, seed=7)
+            cycles.append(result.total_cycles)
+        assert cycles[0] > cycles[1] > cycles[2]
+
+    def test_mlp_erodes_mapg_savings(self):
+        base = SystemConfig()
+        savings = []
+        for window in (1, 4):
+            config = base.replace(
+                core=dataclasses.replace(base.core, miss_window=window))
+            never = run_workload(with_policy(config, "never"),
+                                 "mcf_like", 2000, seed=7)
+            mapg = run_workload(with_policy(config, "mapg"),
+                                "mcf_like", 2000, seed=7)
+            savings.append(mapg.compare(never).energy_saving)
+        assert savings[1] < savings[0]
+
+    def test_ledger_still_tiles_exactly(self):
+        base = SystemConfig()
+        config = base.replace(
+            core=dataclasses.replace(base.core, miss_window=4))
+        result = run_workload(with_policy(config, "mapg"),
+                              "milc_like", 2000, seed=7)
+        assert sum(result.state_cycles.values()) == result.total_cycles

@@ -1,0 +1,169 @@
+"""Tests for stack-distance profiling and simulator warm-up."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import TraceError
+from repro.sim.runner import run_workload, with_policy
+from repro.sim.simulator import Simulator
+from repro.trace.format import ComputeBlock, MemoryAccess
+from repro.workloads import generate_trace
+from repro.workloads.analysis import (
+    INFINITE_DISTANCE,
+    reuse_distances,
+    stack_distance_histogram,
+)
+
+
+def line(n):
+    return MemoryAccess(n * 64)
+
+
+class TestReuseDistances:
+    def test_cold_accesses_marked_infinite(self):
+        assert reuse_distances([line(1), line(2)]) == [
+            INFINITE_DISTANCE, INFINITE_DISTANCE]
+
+    def test_immediate_retouch_distance_zero(self):
+        assert reuse_distances([line(1), line(1)])[1] == 0
+
+    def test_classic_sequence(self):
+        # a b c a : a's re-touch sees {b, c} in between -> distance 2.
+        distances = reuse_distances([line(1), line(2), line(3), line(1)])
+        assert distances[3] == 2
+
+    def test_same_line_different_offset(self):
+        ops = [MemoryAccess(0x1000), MemoryAccess(0x103F)]
+        assert reuse_distances(ops)[1] == 0
+
+    def test_compute_blocks_ignored(self):
+        ops = [line(1), ComputeBlock(100), line(1)]
+        assert reuse_distances(ops) == [INFINITE_DISTANCE, 0]
+
+    def test_max_depth_caps_search(self):
+        ops = [line(n) for n in range(100)] + [line(0)]
+        distances = reuse_distances(ops, max_depth=10)
+        assert distances[-1] == 10
+
+    def test_stack_stays_correct_past_cap(self):
+        """Capped searches must not corrupt later exact distances."""
+        ops = [line(n) for n in range(50)] + [line(0), line(0)]
+        distances = reuse_distances(ops, max_depth=10)
+        assert distances[-1] == 0  # immediate re-touch after the capped one
+
+    def test_rejects_foreign_records(self):
+        with pytest.raises(TraceError):
+            reuse_distances([object()])
+
+
+class TestStackProfile:
+    def test_synthetic_workloads_have_continuous_curves(self):
+        profile = stack_distance_histogram(generate_trace("gcc_like", 6000, seed=3))
+        # Some immediate reuse, some mid-distance, some cold.
+        assert profile.immediate > 0
+        assert profile.cold > 0
+        assert profile.histogram.count > 0
+
+    def test_hit_fraction_monotone_in_capacity(self):
+        profile = stack_distance_histogram(generate_trace("gcc_like", 6000, seed=3))
+        fractions = [profile.hit_fraction_at(c) for c in (16, 256, 4096, 65536)]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] <= 1.0
+
+    def test_compute_bound_profile_more_local(self):
+        povray = stack_distance_histogram(
+            generate_trace("povray_like", 6000, seed=3))
+        mcf = stack_distance_histogram(generate_trace("mcf_like", 6000, seed=3))
+        assert povray.hit_fraction_at(512) > mcf.hit_fraction_at(512)
+
+    def test_capacity_validation(self):
+        profile = stack_distance_histogram(generate_trace("gcc_like", 500, seed=3))
+        with pytest.raises(TraceError):
+            profile.hit_fraction_at(0)
+
+    def test_empty_trace(self):
+        profile = stack_distance_histogram([])
+        assert profile.total == 0
+        assert profile.cold_fraction() == 0.0
+        assert profile.hit_fraction_at(100) == 0.0
+
+
+class TestCrossValidation:
+    """The stack profile must predict what the cache simulator measures."""
+
+    @pytest.mark.parametrize("pair", [("povray_like", "mcf_like"),
+                                      ("hmmer_like", "lbm_like")])
+    def test_profile_ordering_matches_simulated_l1_hit_rates(self, pair):
+        local, hostile = pair
+        config = with_policy(SystemConfig(), "never")
+        l1_lines = config.l1.size_bytes // config.l1.line_bytes
+
+        def analytic(name):
+            profile = stack_distance_histogram(generate_trace(name, 5000, seed=3))
+            return profile.hit_fraction_at(l1_lines)
+
+        def simulated(name):
+            result = run_workload(config, name, 5000, seed=3)
+            return (result.memory_counters.get("l1_hits", 0)
+                    / max(1, result.memory_counters.get("l1_accesses", 1)))
+
+        # Both views must order the two workloads the same way.
+        assert (analytic(local) > analytic(hostile)) == \
+            (simulated(local) > simulated(hostile))
+
+    def test_analytic_hit_fraction_tracks_simulated_within_band(self):
+        """Fully-associative LRU (analytic) vs 8-way set-assoc (simulated)
+        agree within a coarse band on the default L1."""
+        config = with_policy(SystemConfig(), "never")
+        l1_lines = config.l1.size_bytes // config.l1.line_bytes
+        trace = generate_trace("gcc_like", 5000, seed=3)
+        analytic = stack_distance_histogram(trace).hit_fraction_at(l1_lines)
+        result = run_workload(config, "gcc_like", 5000, seed=3)
+        simulated = (result.memory_counters.get("l1_hits", 0)
+                     / max(1, result.memory_counters.get("l1_accesses", 1)))
+        assert abs(analytic - simulated) < 0.15
+
+
+class TestWarmup:
+    def test_warmup_excluded_from_metrics(self):
+        config = with_policy(SystemConfig(), "mapg")
+        cold = run_workload(config, "gcc_like", 2000, seed=9)
+        warm = run_workload(config, "gcc_like", 2000, seed=9, warmup_ops=2000)
+        # Measured instruction counts differ (different trace windows), but
+        # the warm run must not include the warm-up window's cycles.
+        assert warm.total_cycles < cold.total_cycles + warm.instructions * 5
+        assert sum(warm.state_cycles.values()) == warm.total_cycles
+
+    def test_warm_caches_cut_offchip_traffic(self):
+        config = with_policy(SystemConfig(), "never")
+        cold = run_workload(config, "gcc_like", 1500, seed=9)
+        warm = run_workload(config, "gcc_like", 1500, seed=9,
+                            warmup_ops=6000)
+
+        def offchip_per_access(result):
+            return (result.memory_counters.get("dram_accesses", 0)
+                    / max(1, result.memory_counters.get("l1_accesses", 1)))
+
+        # The warm window re-touches lines the warm-up installed; the cold
+        # window pays first-touch misses for all of them.
+        assert offchip_per_access(warm) < offchip_per_access(cold)
+
+    def test_warmup_after_run_rejected(self):
+        from repro.errors import SimulationError
+        simulator = Simulator(with_policy(SystemConfig(), "never"))
+        simulator.run([ComputeBlock(10)])
+        with pytest.raises(SimulationError):
+            simulator.warm_up([ComputeBlock(10)])
+
+    def test_reset_measurements_zeroes_counters(self):
+        simulator = Simulator(with_policy(SystemConfig(), "mapg"))
+        for segment in simulator.core.segments(
+                generate_trace("gcc_like", 500, seed=9)):
+            simulator.handle_segment(segment)
+        simulator.reset_measurements()
+        assert simulator.ledger.total_cycles == 0
+        assert simulator.controller.counters.get("offchip_stalls") == 0
+        assert simulator.hierarchy.l1.counters.get("accesses") == 0
+        result = simulator.result()
+        assert result.total_cycles == 0
+        assert result.instructions == 0

@@ -1,0 +1,180 @@
+"""Tests for phases, profiles, and the synthetic trace generator."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.trace.format import ComputeBlock, MemoryAccess, trace_summary
+from repro.workloads import (
+    PhaseSchedule,
+    PhaseSpec,
+    SyntheticTraceGenerator,
+    generate_trace,
+    get_profile,
+    memory_bound_profiles,
+    profile_names,
+)
+from repro.workloads.profiles import PROFILES, WorkloadProfile
+
+
+class TestPhases:
+    def test_steady_schedule_single_phase(self):
+        schedule = PhaseSchedule.steady()
+        assert schedule.phase_at(0) is schedule.phase_at(10**6)
+
+    def test_phase_lookup_within_period(self):
+        phases = (PhaseSpec(ops=10, memory_scale=2.0),
+                  PhaseSpec(ops=20, memory_scale=0.5))
+        schedule = PhaseSchedule(phases)
+        assert schedule.phase_at(5).memory_scale == 2.0
+        assert schedule.phase_at(15).memory_scale == 0.5
+        assert schedule.period == 30
+
+    def test_schedule_repeats(self):
+        phases = (PhaseSpec(ops=10, memory_scale=2.0),
+                  PhaseSpec(ops=20, memory_scale=0.5))
+        schedule = PhaseSchedule(phases)
+        assert schedule.phase_at(35).memory_scale == 2.0
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(ConfigError):
+            PhaseSchedule(())
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ConfigError):
+            PhaseSchedule.steady().phase_at(-1)
+
+    def test_phase_spec_validation(self):
+        with pytest.raises(ConfigError):
+            PhaseSpec(ops=0)
+        with pytest.raises(ConfigError):
+            PhaseSpec(ops=10, memory_scale=0.0)
+        with pytest.raises(ConfigError):
+            PhaseSpec(ops=10, random_scale=-1.0)
+
+
+class TestProfiles:
+    def test_fourteen_profiles_defined(self):
+        assert len(PROFILES) == 14
+
+    def test_names_ordered_most_memory_bound_first(self):
+        names = profile_names()
+        assert names[0] == "mcf_like"
+        assert names[-1] == "povray_like"
+
+    def test_memory_bound_subset(self):
+        subset = memory_bound_profiles()
+        assert "mcf_like" in subset
+        assert "povray_like" not in subset
+
+    def test_lookup_unknown_profile(self):
+        with pytest.raises(ConfigError, match="mcf_like"):
+            get_profile("spice_like")
+
+    def test_pattern_fractions_sum_to_one(self):
+        for profile in PROFILES.values():
+            total = (profile.sequential_fraction + profile.strided_fraction
+                     + profile.random_fraction)
+            assert total == pytest.approx(1.0)
+
+    def test_reuse_ordering_matches_memory_boundedness(self):
+        assert (PROFILES["mcf_like"].reuse_fraction
+                < PROFILES["gcc_like"].reuse_fraction
+                < PROFILES["povray_like"].reuse_fraction)
+
+    def test_profile_validation(self):
+        with pytest.raises(ConfigError):
+            WorkloadProfile(name="x", description="d",
+                            instructions_per_memory_op=0.5,
+                            sequential_fraction=1.0, strided_fraction=0.0,
+                            random_fraction=0.0, working_set_bytes=1 << 20)
+        with pytest.raises(ConfigError):
+            WorkloadProfile(name="x", description="d",
+                            instructions_per_memory_op=5.0,
+                            sequential_fraction=0.5, strided_fraction=0.0,
+                            random_fraction=0.0, working_set_bytes=1 << 20)
+        with pytest.raises(ConfigError):
+            WorkloadProfile(name="x", description="d",
+                            instructions_per_memory_op=5.0,
+                            sequential_fraction=1.0, strided_fraction=0.0,
+                            random_fraction=0.0, working_set_bytes=1024)
+
+
+class TestGenerator:
+    def test_deterministic_for_same_seed(self):
+        a = generate_trace("gcc_like", 500, seed=3)
+        b = generate_trace("gcc_like", 500, seed=3)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_trace("gcc_like", 500, seed=3)
+        b = generate_trace("gcc_like", 500, seed=4)
+        assert a != b
+
+    def test_produces_requested_op_count(self):
+        assert len(generate_trace("mcf_like", 777)) == 777
+
+    def test_zero_ops(self):
+        assert generate_trace("mcf_like", 0) == []
+
+    def test_negative_ops_rejected(self):
+        with pytest.raises(ConfigError):
+            generate_trace("mcf_like", -1)
+
+    def test_memory_intensity_matches_profile(self):
+        """Mean instructions per memory op lands near the profile's target."""
+        profile = get_profile("gcc_like")
+        ops = generate_trace("gcc_like", 20_000, seed=1)
+        summary = trace_summary(ops)
+        per_mem = summary["instructions"] / summary["memory_accesses"]
+        # Phases modulate the rate, so allow a generous band.
+        assert 0.5 * profile.instructions_per_memory_op < per_mem \
+            < 2.0 * profile.instructions_per_memory_op
+
+    def test_memory_bound_profile_has_more_accesses(self):
+        mcf = trace_summary(generate_trace("mcf_like", 10_000, seed=1))
+        povray = trace_summary(generate_trace("povray_like", 10_000, seed=1))
+        mcf_rate = mcf["memory_accesses"] / mcf["instructions"]
+        povray_rate = povray["memory_accesses"] / povray["instructions"]
+        assert mcf_rate > 1.5 * povray_rate
+
+    def test_write_fraction_respected(self):
+        profile = get_profile("libquantum_like")
+        summary = trace_summary(generate_trace("libquantum_like", 20_000, seed=1))
+        measured = summary["writes"] / summary["memory_accesses"]
+        assert measured == pytest.approx(profile.write_fraction, abs=0.05)
+
+    def test_addresses_stay_within_stream_regions(self):
+        for op in generate_trace("mcf_like", 2000, seed=1):
+            if isinstance(op, MemoryAccess):
+                region = op.address >> 36
+                assert region in (0, 1, 2)
+
+    def test_pcs_come_from_pool(self):
+        profile = get_profile("gcc_like")
+        valid = {0x40_0000 + 4 * i for i in range(profile.pc_pool_size)}
+        for op in generate_trace("gcc_like", 2000, seed=1):
+            if isinstance(op, MemoryAccess):
+                assert op.pc in valid
+
+    def test_reuse_produces_repeated_lines(self):
+        """High-reuse profiles revisit recent lines often."""
+        seen = set()
+        repeats = 0
+        total = 0
+        for op in generate_trace("povray_like", 5000, seed=1):
+            if not isinstance(op, MemoryAccess):
+                continue
+            line = op.address >> 6
+            total += 1
+            if line in seen:
+                repeats += 1
+            seen.add(line)
+        assert repeats / total > 0.5
+
+    def test_generator_resumable_stream(self):
+        generator = SyntheticTraceGenerator(get_profile("gcc_like"), seed=9)
+        first = list(generator.operations(100))
+        second = list(generator.operations(100))
+        assert len(first) == len(second) == 100
+        # The stream continues; it must not restart identically.
+        assert first != second
