@@ -12,6 +12,8 @@ downstream user can reproduce results without writing Python:
 * ``multicore`` — a multiprogrammed mix with optional TAP wake tokens
 * ``profiles``  — list the built-in workload profiles
 * ``trace``     — generate a trace file, or summarize an existing one
+* ``lint``      — mapglint static analysis (unit safety, determinism,
+                  FSM legality, float equality); see ``docs/LINTING.md``
 
 All commands are deterministic given ``--seed``.
 """
@@ -32,6 +34,7 @@ from repro.sim.results import SimulationResult
 from repro.sim.runner import run_multicore, run_policy_comparison, run_workload, with_policy
 from repro.trace.format import trace_summary
 from repro.trace.io import read_trace_file, write_trace_file
+from repro.units import GHZ, MJ, NJ, NS, seconds_to_cycles
 from repro.version import __version__
 from repro.workloads import generate_trace, get_profile, profile_names
 
@@ -122,6 +125,13 @@ def build_parser() -> argparse.ArgumentParser:
     info = trace_actions.add_parser("info", help="summarize a trace file")
     info.add_argument("path")
 
+    # ``lint`` is declared for --help discoverability; its arguments are
+    # forwarded verbatim to repro.lint.cli in main() before parsing, since
+    # argparse.REMAINDER cannot capture leading options like --list-rules.
+    commands.add_parser(
+        "lint", help="mapglint static analysis (see docs/LINTING.md)",
+        add_help=False)
+
     return parser
 
 
@@ -133,7 +143,7 @@ def _result_rows(result: SimulationResult) -> List[List[str]]:
         ["instructions", f"{result.instructions:,}"],
         ["total cycles", f"{result.total_cycles:,}"],
         ["IPC", f"{result.ipc:.3f}"],
-        ["energy", f"{result.energy_j * 1e3:.4f} mJ"],
+        ["energy", f"{result.energy_j / MJ:.4f} mJ"],
         ["off-chip stalls", f"{int(result.offchip_stalls):,}"],
         ["gated stalls", f"{int(result.gated_stalls):,}"],
         ["sleep time", format_fraction_pct(result.sleep_fraction)],
@@ -238,15 +248,15 @@ def _cmd_circuit(args: argparse.Namespace) -> int:
         tech = get_technology(name)
         circuit = SleepTransistorNetwork(
             tech, temperature_c=args.temperature).characterize(
-                args.frequency_ghz * 1e9)
+                args.frequency_ghz * GHZ)
         rows.append([
             name,
             f"{circuit.switch_width_um / 1000:.0f}",
             circuit.stagger_groups,
             circuit.drain_cycles,
-            f"{circuit.wake_latency_s * 1e9:.1f}",
+            f"{circuit.wake_latency_s / NS:.1f}",
             circuit.wake_cycles,
-            f"{circuit.breakeven_s * 1e9:.1f}",
+            f"{circuit.breakeven_s / NS:.1f}",
             circuit.breakeven_cycles,
         ])
     print(format_table(
@@ -314,7 +324,7 @@ def _cmd_multicore(args: argparse.Namespace) -> int:
         rows.append([
             core_id, core_result.workload,
             f"{core_result.total_cycles:,}",
-            f"{core_result.energy_j * 1e3:.4f}",
+            f"{core_result.energy_j / MJ:.4f}",
             format_fraction_pct(core_result.performance_penalty, precision=2),
             format_fraction_pct(core_result.sleep_fraction),
         ])
@@ -323,7 +333,7 @@ def _cmd_multicore(args: argparse.Namespace) -> int:
         rows,
         title=(f"{result.num_cores} cores / policy {result.policy} / "
                f"tokens {'off' if args.tokens == 0 else args.tokens}")))
-    print(f"\ntotal energy {result.total_energy_j * 1e3:.4f} mJ, "
+    print(f"\ntotal energy {result.total_energy_j / MJ:.4f} mJ, "
           f"makespan {result.makespan_cycles:,} cycles")
     if result.token_counters:
         deferred = int(result.token_counters.get("deferred_grants", 0))
@@ -360,8 +370,9 @@ def _cmd_variation(args: argparse.Namespace) -> int:
     frequency_hz = 2e9
     rows = []
     for die in sorted(dies, key=lambda d: d.leakage_multiplier):
-        bet_cycles = die.network.breakeven_time_s() * frequency_hz
-        saving_nj = die.network.net_saving_j(85e-9) * 1e9
+        bet_cycles = seconds_to_cycles(die.network.breakeven_time_s(),
+                                       frequency_hz)
+        saving_nj = die.network.net_saving_j(85 * NS) / NJ
         rows.append([
             die.die_id, f"{die.leakage_multiplier:.2f}",
             f"{bet_cycles:.0f}", f"{saving_nj:.1f}",
@@ -405,8 +416,13 @@ _COMMANDS = {
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "lint":
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(arguments[1:])
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arguments)
     try:
         return _COMMANDS[args.command](args)
     except (ReproError, OSError) as exc:

@@ -13,6 +13,7 @@ from typing import Dict
 
 from repro.errors import SimulationError
 from repro.power.model import CorePowerModel, PowerState
+from repro.units import cycles_to_seconds
 
 
 class EnergyLedger:
@@ -50,7 +51,8 @@ class EnergyLedger:
     @property
     def background_energy_j(self) -> float:
         """Always-on (uncore) energy over the whole execution time."""
-        seconds = self.total_cycles / self.power_model.circuit.frequency_hz
+        seconds = cycles_to_seconds(self.total_cycles,
+                                    self.power_model.circuit.frequency_hz)
         return self.power_model.background_power_w * seconds
 
     @property

@@ -1,0 +1,46 @@
+"""mapglint — project-specific static analysis for the MAPG reproduction.
+
+The Python runtime never checks the invariants this codebase's credibility
+rests on: cycle-ints and SI-floats must only mix inside ``repro.units``,
+every power-gate transition must be legal per ``repro.core.state``, and a
+simulation must be bit-reproducible across runs.  ``repro.lint`` walks the
+AST of the source tree and enforces those conventions statically:
+
+* **UNIT01** — unit safety: no arithmetic mixing cycle-suffixed and
+  SI-suffixed identifiers outside ``repro/units.py``; no raw scale
+  literals (``1e-9`` …) where the ``units`` constants belong.
+* **DET01** — determinism: no module-level ``random``/``numpy.random``
+  calls, no wall-clock reads in simulation code, no iteration over sets
+  in ``repro/sim`` and ``repro/core``.
+* **FSM01** — FSM legality: every ``(PgState.X, PgState.Y)`` pair written
+  anywhere in the codebase must be a legal transition of the power-gate
+  state machine.
+* **FLT01** — float equality: no ``==``/``!=`` between float-typed
+  expressions in energy/power code.
+
+Run it as ``python -m repro.lint [paths]`` or ``python -m repro lint``.
+Findings can be suppressed per line with ``# mapglint: disable=RULE`` or
+grandfathered through a baseline file (see ``docs/LINTING.md``).
+"""
+
+from __future__ import annotations
+
+from repro.lint.base import LintRule, all_rules, get_rule, register_rule
+from repro.lint.baseline import Baseline
+from repro.lint.findings import Finding, Severity, format_json, format_text
+from repro.lint.runner import LintReport, lint_files, lint_paths
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintReport",
+    "LintRule",
+    "Severity",
+    "all_rules",
+    "format_json",
+    "format_text",
+    "get_rule",
+    "lint_files",
+    "lint_paths",
+    "register_rule",
+]

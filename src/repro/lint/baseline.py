@@ -1,0 +1,85 @@
+"""Baseline files: grandfathering pre-existing findings.
+
+A baseline is a JSON file listing finding fingerprints — ``(path, rule,
+stripped source line)`` — that are accepted for now.  A lint run loaded
+with a baseline reports only *new* findings; each baseline entry absorbs
+at most as many findings as its recorded count, so introducing a second
+copy of a grandfathered violation still fails.  The runner also reports
+*stale* entries (baselined findings that no longer occur) so the file can
+be shrunk as debt is paid down.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import ConfigError
+from repro.lint.findings import Finding
+
+_Fingerprint = Tuple[str, str, str]
+
+
+class Baseline:
+    """A multiset of grandfathered finding fingerprints."""
+
+    def __init__(self, counts: "Dict[_Fingerprint, int] | None" = None) -> None:
+        self._counts: Dict[_Fingerprint, int] = dict(counts or {})
+
+    def __len__(self) -> int:
+        return sum(self._counts.values())
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls(dict(Counter(f.fingerprint() for f in findings)))
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if not isinstance(payload, dict) or "entries" not in payload:
+            raise ConfigError(f"malformed baseline file {path}: "
+                              f"expected an object with an 'entries' list")
+        counts: Dict[_Fingerprint, int] = {}
+        for entry in payload["entries"]:
+            try:
+                fingerprint = (entry["path"], entry["rule"],
+                               entry["line_text"])
+                count = int(entry.get("count", 1))
+            except (TypeError, KeyError) as exc:
+                raise ConfigError(
+                    f"malformed baseline entry in {path}: {entry!r}") from exc
+            counts[fingerprint] = counts.get(fingerprint, 0) + count
+        return cls(counts)
+
+    def save(self, path: str) -> None:
+        entries = [
+            {"path": fp[0], "rule": fp[1], "line_text": fp[2], "count": count}
+            for fp, count in sorted(self._counts.items())
+        ]
+        payload = {"version": 1, "entries": entries}
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def filter(self, findings: Iterable[Finding]
+               ) -> "Tuple[List[Finding], List[_Fingerprint]]":
+        """Split findings into (new, stale-baseline-entries).
+
+        ``new`` is every finding not absorbed by the baseline;
+        ``stale`` is every baseline entry (repeated per remaining count)
+        that absorbed nothing.
+        """
+        remaining = dict(self._counts)
+        new: List[Finding] = []
+        for finding in sorted(findings):
+            fingerprint = finding.fingerprint()
+            if remaining.get(fingerprint, 0) > 0:
+                remaining[fingerprint] -= 1
+            else:
+                new.append(finding)
+        stale: List[_Fingerprint] = []
+        for fingerprint, count in sorted(remaining.items()):
+            stale.extend([fingerprint] * count)
+        return new, stale

@@ -1,0 +1,100 @@
+"""Command-line front end: ``python -m repro.lint [paths]``.
+
+Exit codes: 0 = clean (all findings baselined or none), 1 = findings,
+2 = usage or I/O error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.errors import ReproError
+from repro.lint.base import all_rules
+from repro.lint.baseline import Baseline
+from repro.lint.findings import format_json, format_text
+from repro.lint.runner import lint_paths
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the mapglint argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="mapglint: MAPG-specific static analysis "
+                    "(unit safety, determinism, FSM legality, float equality)")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format")
+    parser.add_argument("--baseline", metavar="FILE", default=None,
+                        help="baseline file of grandfathered findings")
+    parser.add_argument("--write-baseline", metavar="FILE", default=None,
+                        help="write current findings to FILE and exit 0")
+    parser.add_argument("--rules", metavar="IDS", default=None,
+                        help="comma-separated subset of rules to run")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the registered rules and exit")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Lint CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_class in all_rules():
+            print(f"{rule_class.rule_id}  [{rule_class.default_severity.value}]"
+                  f"  {rule_class.summary}")
+        return 0
+
+    rule_ids = None
+    if args.rules:
+        rule_ids = [part.strip().upper() for part in args.rules.split(",")
+                    if part.strip()]
+        known = {rule_class.rule_id for rule_class in all_rules()}
+        unknown = sorted(set(rule_ids) - known)
+        if unknown:
+            print(f"error: unknown rule(s): {', '.join(unknown)}; "
+                  f"known: {', '.join(sorted(known))}", file=sys.stderr)
+            return 2
+
+    baseline = None
+    if args.baseline and not args.write_baseline:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except (ReproError, OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    try:
+        report = lint_paths(args.paths, baseline=baseline, rule_ids=rule_ids)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        Baseline.from_findings(report.findings).save(args.write_baseline)
+        print(f"wrote {len(report.findings)} finding(s) to "
+              f"{args.write_baseline}")
+        return 0
+
+    if args.format == "json":
+        print(format_json(report.all_findings))
+    else:
+        if report.all_findings:
+            print(format_text(report.all_findings))
+        for path, rule, line_text in report.stale_baseline:
+            print(f"note: stale baseline entry {path} [{rule}]: "
+                  f"{line_text.strip()!r} no longer occurs", file=sys.stderr)
+        summary = (f"{len(report.all_findings)} finding(s) in "
+                   f"{report.files_checked} file(s)")
+        if baseline is not None:
+            summary += f" (baseline: {len(baseline)} grandfathered)"
+        print(summary if report.all_findings else f"clean: {summary}")
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""Built-in mapglint rules.
+
+Importing this package registers every rule with the registry in
+``repro.lint.base``.
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules.determinism import DeterminismRule
+from repro.lint.rules.float_equality import FloatEqualityRule
+from repro.lint.rules.fsm_legality import FsmLegalityRule
+from repro.lint.rules.unit_safety import UnitSafetyRule
+
+__all__ = [
+    "DeterminismRule",
+    "FloatEqualityRule",
+    "FsmLegalityRule",
+    "UnitSafetyRule",
+]

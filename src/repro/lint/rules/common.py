@@ -1,0 +1,72 @@
+"""Shared helpers: unit classification of identifiers by naming convention.
+
+The package-wide convention (see ``repro/units.py`` and ``docs/LINTING.md``)
+is that a name's suffix declares its unit: ``*_cycles`` is an integer count
+of core-clock cycles, while ``*_s``, ``*_j``, ``*_w``, ``*_hz`` (and their
+SI-scaled variants like ``*_ns``, ``*_nj``) are SI floats.  The rules use
+this to detect cycle/SI mixing and float-typed operands statically.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Optional
+
+CYCLE = "cycle"
+SI = "si"
+
+_CYCLE_SUFFIXES = ("_cycles", "_cycle")
+_CYCLE_NAMES = frozenset({"cycles", "cycle"})
+
+_SI_SUFFIXES = (
+    "_s", "_ns", "_us", "_ms", "_ps", "_fs", "_seconds",
+    "_j", "_nj", "_pj", "_uj", "_mj", "_fj", "_joules",
+    "_w", "_nw", "_uw", "_mw", "_watts",
+    "_hz", "_khz", "_mhz", "_ghz", "_hertz",
+)
+_SI_NAMES = frozenset({
+    "seconds", "joules", "watts", "hertz",
+    "ns", "us", "ms", "ps", "fs",
+    "nj", "pj", "uj", "mj", "fj",
+    "nw", "uw", "mw", "khz", "mhz", "ghz",
+})
+
+
+def unit_of_name(name: str) -> Optional[str]:
+    """Classify an identifier as cycle-valued, SI-valued, or neither."""
+    lowered = name.lower()
+    if lowered in _CYCLE_NAMES or lowered.endswith(_CYCLE_SUFFIXES):
+        return CYCLE
+    if lowered in _SI_NAMES or lowered.endswith(_SI_SUFFIXES):
+        return SI
+    return None
+
+
+def node_name(node: ast.AST) -> Optional[str]:
+    """The identifier a node carries, if any (Name, Attribute, or Call)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Call):
+        return node_name(node.func)
+    return None
+
+
+def unit_families(node: ast.AST) -> FrozenSet[str]:
+    """Every unit family an expression's identifiers belong to.
+
+    Recurses through arithmetic and unary operators so that
+    ``a_cycles + (b + wake_s)`` is seen to involve both families; stops at
+    calls and subscripts apart from classifying their own name (a call
+    named ``*_s`` is presumed to return seconds).
+    """
+    if isinstance(node, (ast.Name, ast.Attribute, ast.Call)):
+        name = node_name(node)
+        family = unit_of_name(name) if name is not None else None
+        return frozenset({family}) if family is not None else frozenset()
+    if isinstance(node, ast.BinOp):
+        return unit_families(node.left) | unit_families(node.right)
+    if isinstance(node, ast.UnaryOp):
+        return unit_families(node.operand)
+    return frozenset()

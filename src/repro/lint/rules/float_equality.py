@@ -1,0 +1,57 @@
+"""FLT01 — float equality in energy/power code.
+
+An exact ``==``/``!=`` between float-typed quantities in the energy and
+power models is almost always a latent bug: energies are sums of many
+rounded products, so bit-exact equality silently becomes "never true"
+(or worse, "true at one technology node and false at another").  The rule
+flags equality comparisons in ``repro/power``, ``repro/core``,
+``repro/analysis``, and ``repro/sim`` where either operand is visibly
+float-typed: a float literal, or an identifier following the SI naming
+convention (``*_s``, ``*_j``, ``*_w``, ``*_hz``, …).
+
+Use ``math.isclose`` or an explicit tolerance; comparisons against a float
+sentinel that is genuinely exact (e.g. a stored default) can carry
+``# mapglint: disable=FLT01``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.base import FileContext, LintRule, register_rule
+from repro.lint.findings import Severity
+from repro.lint.rules.common import SI, unit_families
+
+_SCOPE = ("repro/power", "repro/core", "repro/analysis", "repro/sim")
+
+
+def _is_floaty(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp):
+        return _is_floaty(node.operand)
+    return SI in unit_families(node)
+
+
+@register_rule
+class FloatEqualityRule(LintRule):
+    rule_id = "FLT01"
+    summary = ("no ==/!= between float-typed expressions in energy/power "
+               "code; use math.isclose or an explicit tolerance")
+    default_severity = Severity.WARNING
+
+    def applies_to(self, context: FileContext) -> bool:
+        return context.in_package(*_SCOPE)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left] + list(node.comparators)
+        for op, (first, second) in zip(node.ops,
+                                       zip(operands, operands[1:])):
+            if isinstance(op, (ast.Eq, ast.NotEq)) and \
+                    (_is_floaty(first) or _is_floaty(second)):
+                self.report(node,
+                            "exact float equality in energy/power code; "
+                            "use math.isclose(a, b, rel_tol=...) or an "
+                            "explicit tolerance")
+                break
+        self.generic_visit(node)

@@ -1,0 +1,73 @@
+"""FSM01 — power-gate FSM legality.
+
+The power-gate state machine in ``repro.core.state`` rejects illegal
+transitions at runtime — but only on the execution paths a given test run
+exercises.  This rule checks statically: every ``(PgState.X, PgState.Y)``
+2-tuple written anywhere in the codebase (tables, tests, expected-sequence
+fixtures) is cross-checked against ``_LEGAL_TRANSITIONS``, so a hard-coded
+pair that skips a mandatory state (e.g. ``SLEEP`` directly to ``ACTIVE``)
+is caught at lint time.  References to state names that do not exist on
+``PgState`` at all are flagged as well.
+
+Tests that deliberately enumerate illegal pairs should construct them
+programmatically from ``_LEGAL_TRANSITIONS`` (the complement is then always
+in sync) or carry a ``# mapglint: disable=FSM01`` pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.core.state import _LEGAL_TRANSITIONS, PgState
+from repro.lint.base import LintRule, register_rule
+from repro.lint.findings import Severity
+
+
+def _pg_state_member(node: ast.AST) -> Optional[str]:
+    """The member name if ``node`` is a ``PgState.X`` attribute access."""
+    if isinstance(node, ast.Attribute) and \
+            isinstance(node.value, ast.Name) and node.value.id == "PgState":
+        return node.attr
+    return None
+
+
+@register_rule
+class FsmLegalityRule(LintRule):
+    rule_id = "FSM01"
+    summary = ("every (PgState.X, PgState.Y) pair in the source must be a "
+               "legal power-gate transition")
+    default_severity = Severity.ERROR
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        member = _pg_state_member(node)
+        # Only member-shaped (ALL_CAPS) attributes are candidate states;
+        # PgState.__members__, PgState.value etc. are enum API, not states.
+        if member is not None and member.isupper() and \
+                member not in PgState.__members__:
+            self.report(node,
+                        f"PgState.{member} does not exist; known states: "
+                        f"{', '.join(PgState.__members__)}")
+        self.generic_visit(node)
+
+    def visit_Tuple(self, node: ast.Tuple) -> None:
+        if len(node.elts) == 2:
+            source = _pg_state_member(node.elts[0])
+            target = _pg_state_member(node.elts[1])
+            if source in PgState.__members__ and \
+                    target in PgState.__members__:
+                assert source is not None and target is not None
+                self._check_pair(node, PgState[source], PgState[target])
+        self.generic_visit(node)
+
+    def _check_pair(self, node: ast.Tuple, source: PgState,
+                    target: PgState) -> None:
+        if source is target:
+            return  # self-transitions are no-ops, not FSM edges
+        if target not in _LEGAL_TRANSITIONS[source]:
+            legal = ", ".join(sorted(s.name for s in
+                                     _LEGAL_TRANSITIONS[source]))
+            self.report(node,
+                        f"illegal power-gate transition {source.name} -> "
+                        f"{target.name}; legal targets of {source.name}: "
+                        f"{legal}")

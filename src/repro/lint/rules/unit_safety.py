@@ -1,0 +1,97 @@
+"""UNIT01 — cycle/SI unit safety.
+
+Two checks, both scoped to everything *except* ``repro/units.py`` (the one
+module allowed to convert between domains):
+
+1. **Mixed-domain arithmetic** — a binary operation or comparison whose
+   operands put a cycle-suffixed identifier (``*_cycles``) and an
+   SI-suffixed identifier (``*_s``, ``*_j``, ``*_w``, ``*_hz``, …) on
+   opposite sides.  ``cycles / frequency_hz`` is a unit conversion and must
+   go through :func:`repro.units.cycles_to_seconds`.
+
+2. **Raw scale literals** — a float literal equal to one of the
+   ``repro.units`` scale constants (``1e-9``, ``1e-6``, ``1e3``, …) used as
+   a multiplication/division operand.  ``total_ns * 1e-9`` hides a unit
+   conversion behind a magic number; write ``total_ns * NS``.  Float
+   literals in comparisons or additions (epsilons such as
+   ``mean_gap < 1e-9``) are deliberately not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.base import FileContext, LintRule, register_rule
+from repro.lint.findings import Severity
+from repro.lint.rules.common import CYCLE, SI, unit_families
+
+# Values of the scale constants exported by repro.units.  Matching is by
+# exact float value, so 1e-9 and 0.000000001 both hit, while 85e-9 (a
+# scaled quantity, not a bare scale factor) does not.
+_SCALE_LITERALS = {
+    1e-15: "FS/FJ", 1e-12: "PS/PJ", 1e-9: "NS/NW/NJ", 1e-6: "US/UW/UJ",
+    1e-3: "MS/MW/MJ", 1e3: "KHZ", 1e6: "MHZ", 1e9: "GHZ",
+}
+
+
+def _is_scale_literal(node: ast.AST, context: FileContext) -> bool:
+    """A float scale constant *written in exponent notation*.
+
+    The spelling matters: ``x * 1e-9`` is a disguised unit conversion,
+    while ``misses / instructions * 1000.0`` (misses per kilo-instruction)
+    is a dimensionless rate — same value, different intent.  Requiring the
+    ``e`` keeps the rule targeted at the former.
+    """
+    if not (isinstance(node, ast.Constant)
+            and isinstance(node.value, float)
+            and node.value in _SCALE_LITERALS):
+        return False
+    line = context.line_text(node.lineno)
+    end = getattr(node, "end_col_offset", None)
+    text = line[node.col_offset:end] if end is not None else ""
+    return "e" in text.lower()
+
+
+@register_rule
+class UnitSafetyRule(LintRule):
+    rule_id = "UNIT01"
+    summary = ("cycle-count and SI-unit identifiers must only mix inside "
+               "repro/units.py; scale factors must use the units constants")
+    default_severity = Severity.ERROR
+
+    def applies_to(self, context: FileContext) -> bool:
+        return not context.is_module("repro/units.py")
+
+    def _check_mixing(self, node: ast.AST, left: ast.AST,
+                      right: ast.AST) -> None:
+        left_units = unit_families(left)
+        right_units = unit_families(right)
+        if (CYCLE in left_units and SI in right_units) or \
+                (SI in left_units and CYCLE in right_units):
+            self.report(node,
+                        "arithmetic mixes cycle-count and SI-unit operands; "
+                        "convert through repro.units (cycles_to_seconds / "
+                        "seconds_to_cycles) instead")
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, (ast.Add, ast.Sub, ast.Mult, ast.Div,
+                                ast.FloorDiv, ast.Mod)):
+            self._check_mixing(node, node.left, node.right)
+        if isinstance(node.op, (ast.Mult, ast.Div)):
+            assert self.context is not None
+            for operand in (node.left, node.right):
+                if _is_scale_literal(operand, self.context):
+                    assert isinstance(operand, ast.Constant)
+                    names = _SCALE_LITERALS[operand.value]
+                    self.report(
+                        operand,
+                        f"raw scale literal {operand.value:g} in arithmetic; "
+                        f"use the repro.units constant ({names}) so the "
+                        f"conversion is explicit")
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left] + list(node.comparators)
+        for first, second in zip(operands, operands[1:]):
+            self._check_mixing(node, first, second)
+        self.generic_visit(node)

@@ -1,0 +1,105 @@
+"""File collection and rule execution."""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.lint.base import FileContext, all_rules
+from repro.lint.baseline import Baseline
+from repro.lint.findings import Finding, Severity
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    stale_baseline: List[Tuple[str, str, str]] = field(default_factory=list)
+    files_checked: int = 0
+    parse_errors: List[Finding] = field(default_factory=list)
+
+    @property
+    def all_findings(self) -> List[Finding]:
+        return sorted(self.parse_errors + self.findings)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+
+def collect_files(paths: Sequence[str]) -> List[str]:
+    """Expand files and directories into a sorted list of ``.py`` files."""
+    collected: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs[:] = sorted(d for d in dirs
+                                 if d not in ("__pycache__", ".git"))
+                for name in sorted(names):
+                    if name.endswith(".py"):
+                        collected.append(os.path.join(root, name))
+        else:
+            collected.append(path)
+    # De-duplicate while preserving a deterministic order.
+    return sorted(dict.fromkeys(collected))
+
+
+def lint_source(path: str, source: str,
+                rule_ids: Optional[Iterable[str]] = None) -> List[Finding]:
+    """Lint one in-memory module; returns unsuppressed findings."""
+    tree = ast.parse(source, filename=path)
+    context = FileContext(path, source, tree)
+    wanted = set(rule_ids) if rule_ids is not None else None
+    findings: List[Finding] = []
+    for rule_class in all_rules():
+        if wanted is not None and rule_class.rule_id not in wanted:
+            continue
+        findings.extend(rule_class().check(context))
+    return findings
+
+
+def lint_files(files: Sequence[str],
+               baseline: Optional[Baseline] = None,
+               rule_ids: Optional[Iterable[str]] = None) -> LintReport:
+    """Lint a list of files, optionally filtering through a baseline."""
+    report = LintReport()
+    raw: List[Finding] = []
+    for path in files:
+        norm = path.replace("\\", "/")
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            report.parse_errors.append(Finding(
+                path=norm, line=1, column=1, rule_id="IO",
+                severity=Severity.ERROR, message=f"cannot read file: {exc}"))
+            continue
+        try:
+            raw.extend(lint_source(path, source, rule_ids=rule_ids))
+        except SyntaxError as exc:
+            report.parse_errors.append(Finding(
+                path=norm, line=exc.lineno or 1,
+                column=(exc.offset or 0) + 1, rule_id="SYNTAX",
+                severity=Severity.ERROR, message=f"cannot parse file: {exc.msg}"))
+            continue
+        report.files_checked += 1
+    if baseline is not None:
+        report.findings, report.stale_baseline = baseline.filter(raw)
+    else:
+        report.findings = sorted(raw)
+    return report
+
+
+def lint_paths(paths: Sequence[str],
+               baseline: Optional[Baseline] = None,
+               rule_ids: Optional[Iterable[str]] = None) -> LintReport:
+    """Lint files and/or directory trees (the main entry point)."""
+    return lint_files(collect_files(paths), baseline=baseline,
+                      rule_ids=rule_ids)

@@ -31,7 +31,7 @@ from repro.memory.dram import Dram, DramAccessResult
 from repro.memory.mshr import Mshr
 from repro.memory.prefetch import PrefetcherConfig, StridePrefetcher
 from repro.stats import CounterSet
-from repro.units import seconds_to_cycles_ceil
+from repro.units import NS, cycles_to_ns, seconds_to_cycles_ceil
 
 
 @dataclass(frozen=True)
@@ -84,10 +84,10 @@ class MemoryHierarchy:
         self._prefetched_lines: "dict[int, None]" = {}
 
     def _cycles_to_ns(self, cycles: int) -> float:
-        return cycles / self._frequency_hz * 1e9
+        return cycles_to_ns(cycles, self._frequency_hz)
 
     def _ns_to_cycles(self, ns: float) -> int:
-        return seconds_to_cycles_ceil(ns * 1e-9, self._frequency_hz)
+        return seconds_to_cycles_ceil(ns * NS, self._frequency_hz)
 
     def access(self, address: int, cycle: int, is_write: bool = False,
                pc: int = 0) -> AccessResult:

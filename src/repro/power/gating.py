@@ -32,6 +32,7 @@ from dataclasses import dataclass
 
 from repro.errors import CircuitModelError
 from repro.power.technology import TechnologyNode
+from repro.units import cycles_to_seconds as _cycles_to_seconds
 from repro.units import seconds_to_cycles_ceil
 
 
@@ -337,7 +338,7 @@ class GatingCircuit:
     retention_sleep_power_w: float = 0.0
 
     def cycles_to_seconds(self, cycles: float) -> float:
-        return cycles / self.frequency_hz
+        return _cycles_to_seconds(cycles, self.frequency_hz)
 
     def overhead_energy_j(self, sleep_cycles: float) -> float:
         """Per-event overhead for a full-gate sleep of ``sleep_cycles``."""

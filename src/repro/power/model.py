@@ -92,7 +92,7 @@ class CorePowerModel:
         """Energy of ``cycles`` spent in ``state``."""
         if cycles < 0:
             raise ConfigError(f"cycles must be >= 0, got {cycles}")
-        return self.state_power_w(state) * cycles / self.circuit.frequency_hz
+        return self.state_power_w(state) * self.circuit.cycles_to_seconds(cycles)
 
     def gating_event_energy_j(self, sleep_cycles: float,
                               mode: str = "full") -> float:

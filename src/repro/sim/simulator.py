@@ -37,7 +37,7 @@ from repro.power.temperature import NOMINAL_TEMPERATURE_C
 from repro.predict.table import make_predictor
 from repro.sim.results import SimulationResult
 from repro.stats import Histogram
-from repro.units import seconds_to_cycles_ceil
+from repro.units import NS, seconds_to_cycles_ceil
 
 
 from dataclasses import dataclass, field
@@ -76,7 +76,7 @@ def static_offchip_latency_cycles(config: SystemConfig) -> int:
     dram = config.dram
     total_ns = (dram.controller_overhead_ns + dram.t_rcd_ns + dram.t_cas_ns
                 + dram.queue_service_ns + dram.bus_transfer_ns)
-    return seconds_to_cycles_ceil(total_ns * 1e-9, config.core.frequency_hz)
+    return seconds_to_cycles_ceil(total_ns * NS, config.core.frequency_hz)
 
 
 class Simulator:

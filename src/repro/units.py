@@ -54,6 +54,20 @@ def cycles_to_seconds(cycles: float, frequency_hz: float) -> float:
     return cycles / frequency_hz
 
 
+def cycles_to_ns(cycles: float, frequency_hz: float) -> float:
+    """Convert a cycle count at ``frequency_hz`` to nanoseconds.
+
+    Implemented as a multiplication by the exact float 1e9 rather than a
+    division by the inexact float ``NS``: the two differ in the last ulp,
+    and the DRAM timing model ceils the result to whole cycles, so the ulp
+    would occasionally become a one-cycle (and thus trajectory-level)
+    difference between otherwise identical simulations.
+    """
+    if frequency_hz <= 0.0:
+        raise ConfigError(f"frequency must be positive, got {frequency_hz}")
+    return cycles / frequency_hz * 1e9
+
+
 def seconds_to_cycles(seconds: float, frequency_hz: float) -> float:
     """Convert a duration in seconds to (fractional) cycles at ``frequency_hz``."""
     if frequency_hz <= 0.0:

@@ -7,6 +7,7 @@ from repro.errors import ConfigError
 from repro.power.dvfs import DvfsModel, sweep
 from repro.sim.runner import run_workload, with_policy
 from repro.sim.simulator import Simulator
+from repro.units import cycles_to_seconds
 
 
 @pytest.fixture(scope="module")
@@ -34,7 +35,8 @@ class TestIdentityPoint:
 
     def test_r1_reproduces_simulated_time(self, model, never_run):
         point = model.evaluate(never_run, 1.0)
-        expected = never_run.total_cycles / model.power_model.circuit.frequency_hz
+        expected = cycles_to_seconds(never_run.total_cycles,
+                                     model.power_model.circuit.frequency_hz)
         assert point.time_s == pytest.approx(expected, rel=1e-9)
 
     def test_r1_on_gated_run_too(self, model, mapg_run):

@@ -9,6 +9,7 @@ from repro.power.gating import SleepTransistorNetwork
 from repro.power.model import CorePowerModel, PowerState
 from repro.power.technology import TECHNOLOGY_NODES, get_technology
 from repro.power.temperature import leakage_scale_factor
+from repro.units import cycles_to_seconds
 
 
 class TestTechnology:
@@ -144,7 +145,7 @@ class TestCharacterize:
 
     def test_net_saving_consistent_with_network(self, circuit45):
         cycles = 200
-        seconds = cycles / circuit45.frequency_hz
+        seconds = cycles_to_seconds(cycles, circuit45.frequency_hz)
         assert circuit45.net_saving_j(cycles) == pytest.approx(
             circuit45.network.net_saving_j(seconds))
 

@@ -132,8 +132,10 @@ def test_running_mean_matches_numpy_free_reference(values):
         stream.observe(value)
     mean = sum(values) / len(values)
     variance = sum((v - mean) ** 2 for v in values) / len(values)
-    assert abs(stream.mean - mean) < 1e-6 * max(1.0, abs(mean))
-    assert abs(stream.variance - variance) < 1e-5 * max(1.0, variance)
+    mean_tol = 1e-6
+    var_tol = 1e-5
+    assert abs(stream.mean - mean) < mean_tol * max(1.0, abs(mean))
+    assert abs(stream.variance - variance) < var_tol * max(1.0, variance)
 
 
 # ---- counters -----------------------------------------------------------------------

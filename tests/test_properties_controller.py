@@ -77,11 +77,10 @@ def test_oracle_never_pays_and_never_loses(stalls):
                                            kind=kind, elapsed_cycles=elapsed)
         assert outcome.penalty_cycles == 0
         if outcome.gated and not outcome.aborted:
-            saved = (_POWER.leakage_power_w
-                     * outcome.sleep_cycles / _CIRCUIT.frequency_hz)
+            sleep_s = _CIRCUIT.cycles_to_seconds(outcome.sleep_cycles)
+            saved = _POWER.leakage_power_w * sleep_s
             overhead = (outcome.event_energy_j
-                        + _CIRCUIT.sleep_residual_power_w
-                        * outcome.sleep_cycles / _CIRCUIT.frequency_hz)
+                        + _CIRCUIT.sleep_residual_power_w * sleep_s)
             assert saved >= overhead * 0.99
 
 

@@ -1,10 +1,40 @@
 """Tests for the power-gate state machine."""
 
+import itertools
+
 import pytest
 
-from repro.core.state import PgState, PowerGateStateMachine, power_state_of
+from repro.core.state import _LEGAL_TRANSITIONS, PgState, \
+    PowerGateStateMachine, power_state_of
 from repro.errors import SimulationError
 from repro.power.model import PowerState
+
+# Every ordered pair that is NOT a legal FSM edge, computed from the
+# transition table itself so the test can never drift out of sync with it.
+# (Self-pairs are excluded: transition() treats them as no-op boundaries.)
+ILLEGAL_PAIRS = [
+    (source, target)
+    for source, target in itertools.product(PgState, PgState)
+    if source is not target and target not in _LEGAL_TRANSITIONS[source]
+]
+
+
+def drive_to(machine, goal):
+    """Walk the machine to ``goal`` along a shortest legal path."""
+    frontier = [(machine.state, ())]
+    seen = {machine.state}
+    while frontier:
+        state, path = frontier.pop(0)
+        if state is goal:
+            for cycle, step in enumerate(path, start=1):
+                machine.transition(step, cycle * 10)
+            return
+        for successor in sorted(_LEGAL_TRANSITIONS[state],
+                                key=lambda s: s.value):
+            if successor not in seen:
+                seen.add(successor)
+                frontier.append((successor, path + (successor,)))
+    raise AssertionError(f"{goal} unreachable from {machine.state}")
 
 
 class TestTransitions:
@@ -50,6 +80,30 @@ class TestTransitions:
         machine = PowerGateStateMachine()
         assert machine.can_transition(PgState.STALL)
         assert not machine.can_transition(PgState.SLEEP)
+
+
+class TestIllegalTransitionsExhaustive:
+    def test_every_state_is_reachable(self):
+        for goal in PgState:
+            machine = PowerGateStateMachine()
+            drive_to(machine, goal)
+            assert machine.state is goal
+
+    @pytest.mark.parametrize(
+        "source,target", ILLEGAL_PAIRS,
+        ids=[f"{s.value}-to-{t.value}" for s, t in ILLEGAL_PAIRS])
+    def test_illegal_transition_raises(self, source, target):
+        machine = PowerGateStateMachine()
+        drive_to(machine, source)
+        assert not machine.can_transition(target)
+        with pytest.raises(SimulationError,
+                           match=f"{source.value} -> {target.value}"):
+            machine.transition(target, 10_000)
+
+    def test_complement_covers_the_whole_state_square(self):
+        legal = sum(len(targets) for targets in _LEGAL_TRANSITIONS.values())
+        states = len(PgState)
+        assert len(ILLEGAL_PAIRS) == states * (states - 1) - legal
 
 
 class TestLedgerIntegration:

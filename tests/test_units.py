@@ -77,4 +77,4 @@ class TestFormatSi:
         assert "e-21" in text
 
     def test_precision_control(self):
-        assert format_si(math.pi * 1e-9, "s", precision=5) == "3.1416 ns"
+        assert format_si(math.pi * NS, "s", precision=5) == "3.1416 ns"
