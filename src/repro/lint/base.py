@@ -17,6 +17,23 @@ from repro.lint.findings import Finding, Severity
 _DISABLE_RE = re.compile(r"#\s*mapglint:\s*disable=([A-Za-z0-9_,\s]+)")
 
 
+def parse_suppressions(source: str) -> Dict[int, FrozenSet[str]]:
+    """Per-line ``# mapglint: disable=RULE[,RULE…]`` pragmas of a module.
+
+    Shared by :class:`FileContext` (per-file rules) and the project
+    summaries (interprocedural rules), so both suppression paths agree.
+    """
+    suppressions: Dict[int, FrozenSet[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _DISABLE_RE.search(line)
+        if match:
+            rules = frozenset(
+                part.strip().upper()
+                for part in match.group(1).split(",") if part.strip())
+            suppressions[lineno] = rules
+    return suppressions
+
+
 class FileContext:
     """Everything a rule needs to know about the file under analysis."""
 
@@ -27,18 +44,7 @@ class FileContext:
         self.source = source
         self.lines = source.splitlines()
         self.tree = tree
-        self._suppressions = self._parse_suppressions()
-
-    def _parse_suppressions(self) -> Dict[int, FrozenSet[str]]:
-        suppressions: Dict[int, FrozenSet[str]] = {}
-        for lineno, line in enumerate(self.lines, start=1):
-            match = _DISABLE_RE.search(line)
-            if match:
-                rules = frozenset(
-                    part.strip().upper()
-                    for part in match.group(1).split(",") if part.strip())
-                suppressions[lineno] = rules
-        return suppressions
+        self._suppressions = parse_suppressions(source)
 
     def is_suppressed(self, rule_id: str, line: int) -> bool:
         rules = self._suppressions.get(line)
@@ -124,32 +130,95 @@ class LintRule(ast.NodeVisitor):
             line_text=self.context.line_text(line)))
 
 
+class ProjectRule:
+    """Base class for whole-program ("project") rules.
+
+    Unlike :class:`LintRule`, a project rule never sees an AST: it runs
+    once per lint invocation against the merged
+    :class:`~repro.lint.project.graph.ProjectModel` (phase 2) and reports
+    findings anywhere in the project.  Per-line suppressions and the
+    baseline are applied by the runner, exactly as for file rules.
+    """
+
+    rule_id: str = ""
+    summary: str = ""
+    default_severity: Severity = Severity.ERROR
+
+    def __init__(self) -> None:
+        self._findings: List[Finding] = []
+
+    def check_project(self, model: "object") -> List[Finding]:
+        """Run the rule over the whole-program model; returns findings."""
+        self._findings = []
+        self.run(model)
+        return list(dict.fromkeys(self._findings))
+
+    def run(self, model: "object") -> None:
+        """Override: inspect the model and call :meth:`report`."""
+        raise NotImplementedError
+
+    def report(self, path: str, line: int, column: int, message: str,
+               line_text: str = "",
+               severity: Optional[Severity] = None) -> None:
+        self._findings.append(Finding(
+            path=path, line=line, column=column, rule_id=self.rule_id,
+            severity=severity if severity is not None else self.default_severity,
+            message=message, line_text=line_text))
+
+
 _REGISTRY: Dict[str, Type[LintRule]] = {}
+_PROJECT_REGISTRY: Dict[str, Type[ProjectRule]] = {}
 
 
 def register_rule(rule_class: Type[LintRule]) -> Type[LintRule]:
-    """Class decorator adding a rule to the global registry."""
+    """Class decorator adding a per-file rule to the global registry."""
     if not rule_class.rule_id:
         raise ValueError(f"{rule_class.__name__} has no rule_id")
-    if rule_class.rule_id in _REGISTRY:
+    if rule_class.rule_id in _REGISTRY or rule_class.rule_id in _PROJECT_REGISTRY:
         raise ValueError(f"duplicate rule id {rule_class.rule_id}")
     _REGISTRY[rule_class.rule_id] = rule_class
     return rule_class
 
 
+def register_project_rule(rule_class: Type[ProjectRule]) -> Type[ProjectRule]:
+    """Class decorator adding a whole-program rule to the registry."""
+    if not rule_class.rule_id:
+        raise ValueError(f"{rule_class.__name__} has no rule_id")
+    if rule_class.rule_id in _REGISTRY or rule_class.rule_id in _PROJECT_REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_class.rule_id}")
+    _PROJECT_REGISTRY[rule_class.rule_id] = rule_class
+    return rule_class
+
+
 def all_rules() -> Tuple[Type[LintRule], ...]:
-    """Every registered rule class, ordered by rule id."""
+    """Every registered per-file rule class, ordered by rule id."""
     import repro.lint.rules  # noqa: F401  (registers the built-in rules)
 
     return tuple(_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY))
 
 
-def get_rule(rule_id: str) -> Type[LintRule]:
+def all_project_rules() -> Tuple[Type[ProjectRule], ...]:
+    """Every registered whole-program rule class, ordered by rule id."""
+    import repro.lint.rules  # noqa: F401
+
+    return tuple(_PROJECT_REGISTRY[rule_id]
+                 for rule_id in sorted(_PROJECT_REGISTRY))
+
+
+def all_rule_ids() -> Tuple[str, ...]:
+    """Ids of every registered rule, file-level and project-level."""
+    import repro.lint.rules  # noqa: F401
+
+    return tuple(sorted(set(_REGISTRY) | set(_PROJECT_REGISTRY)))
+
+
+def get_rule(rule_id: str) -> "Type[LintRule] | Type[ProjectRule]":
     """Look up one registered rule class by its id (e.g. ``"UNIT01"``)."""
     import repro.lint.rules  # noqa: F401
 
     try:
-        return _REGISTRY[rule_id]
+        return _REGISTRY.get(rule_id) or _PROJECT_REGISTRY[rule_id]
     except KeyError:
+        known = ", ".join(sorted(set(_REGISTRY) | set(_PROJECT_REGISTRY)))
         raise KeyError(f"unknown rule id {rule_id!r}; "
-                       f"known: {', '.join(sorted(_REGISTRY))}") from None
+                       f"known: {known}") from None

@@ -11,10 +11,13 @@ import sys
 from typing import Optional, Sequence
 
 from repro.errors import ReproError
-from repro.lint.base import all_rules
+from repro.lint.base import all_project_rules, all_rule_ids, all_rules
 from repro.lint.baseline import Baseline
+from repro.lint.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.lint.findings import format_json, format_text
-from repro.lint.runner import lint_paths
+from repro.lint.fixes import fix_files
+from repro.lint.runner import collect_files, lint_files
+from repro.lint.sarif import format_sarif
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -22,11 +25,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.lint",
         description="mapglint: MAPG-specific static analysis "
-                    "(unit safety, determinism, FSM legality, float equality)")
+                    "(unit safety, determinism, FSM legality, float "
+                    "equality, and whole-program unit/ledger/config/event "
+                    "checks)")
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
-    parser.add_argument("--format", choices=("text", "json"), default="text",
-                        help="report format")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text", help="report format")
     parser.add_argument("--baseline", metavar="FILE", default=None,
                         help="baseline file of grandfathered findings")
     parser.add_argument("--write-baseline", metavar="FILE", default=None,
@@ -35,6 +40,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated subset of rules to run")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the registered rules and exit")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for per-file analysis "
+                             "(default: 1)")
+    parser.add_argument("--fix", action="store_true",
+                        help="apply mechanical fixes (float equality -> "
+                             "math.isclose, raw scale literals -> "
+                             "repro.units constants) before linting")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the per-file result cache")
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        default=DEFAULT_CACHE_DIR,
+                        help=f"result cache directory "
+                             f"(default: {DEFAULT_CACHE_DIR})")
     return parser
 
 
@@ -44,8 +62,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for rule_class in all_rules():
-            print(f"{rule_class.rule_id}  [{rule_class.default_severity.value}]"
+        for rule_class in list(all_rules()) + list(all_project_rules()):
+            scope = "project" if rule_class in all_project_rules() else "file"
+            print(f"{rule_class.rule_id}  "
+                  f"[{rule_class.default_severity.value}/{scope}]"
                   f"  {rule_class.summary}")
         return 0
 
@@ -53,12 +73,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.rules:
         rule_ids = [part.strip().upper() for part in args.rules.split(",")
                     if part.strip()]
-        known = {rule_class.rule_id for rule_class in all_rules()}
+        known = set(all_rule_ids())
         unknown = sorted(set(rule_ids) - known)
         if unknown:
             print(f"error: unknown rule(s): {', '.join(unknown)}; "
                   f"known: {', '.join(sorted(known))}", file=sys.stderr)
             return 2
+
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
 
     baseline = None
     if args.baseline and not args.write_baseline:
@@ -69,7 +93,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 2
 
     try:
-        report = lint_paths(args.paths, baseline=baseline, rule_ids=rule_ids)
+        files = collect_files(args.paths)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.fix:
+        changed = fix_files(files)
+        total = sum(changed.values())
+        for path in sorted(changed):
+            print(f"fixed: {path} ({changed[path]} edit(s))")
+        print(f"--fix applied {total} edit(s) in {len(changed)} file(s)")
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    try:
+        report = lint_files(files, baseline=baseline, rule_ids=rule_ids,
+                            jobs=args.jobs, cache=cache)
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -82,6 +121,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.format == "json":
         print(format_json(report.all_findings))
+    elif args.format == "sarif":
+        print(format_sarif(report.all_findings, rule_ids=rule_ids))
     else:
         if report.all_findings:
             print(format_text(report.all_findings))
@@ -90,6 +131,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                   f"{line_text.strip()!r} no longer occurs", file=sys.stderr)
         summary = (f"{len(report.all_findings)} finding(s) in "
                    f"{report.files_checked} file(s)")
+        if cache is not None:
+            summary += (f" [cache: {report.cache_hits} hit(s), "
+                        f"{report.cache_misses} miss(es)]")
         if baseline is not None:
             summary += f" (baseline: {len(baseline)} grandfathered)"
         print(summary if report.all_findings else f"clean: {summary}")

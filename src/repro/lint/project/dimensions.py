@@ -1,0 +1,491 @@
+"""Dimension lattice and abstract interpretation for the project analyzer.
+
+The whole-program rules (UNIT02, LEDGER01, EVT01) need to know, for any
+expression, *what physical quantity it denotes* — not just whether its
+spelling carries a cycle or SI suffix (that is UNIT01's per-expression
+view).  This module defines a small dimension lattice::
+
+    cycles   s   j   w   hz   dimensionless
+         \\   |   |   |   |   /
+               unknown
+
+and a forward abstract interpreter that infers an element of it for every
+local, parameter, and return value of a function.  Seeds come from three
+places:
+
+* **identifier suffixes** — the package naming convention (``*_cycles``,
+  ``*_s``, ``*_j``, ``*_w``, ``*_hz`` and their scaled variants);
+* **``repro.units`` constants and helpers** — ``13.75 * NS`` is seconds,
+  ``seconds_to_cycles_ceil(...)`` is cycles, ``energy_joules(...)`` is
+  joules;
+* **propagation** — assignments carry dimensions to new names, and
+  arithmetic combines them physically (``w * s -> j``, ``j / s -> w``,
+  ``cycles / hz -> s``, dimensionless scales are transparent).
+
+The interpreter is deliberately optimistic: it only ever claims a dimension
+it can actually justify, and rules fire only on a *definite* mismatch of
+two known, non-dimensionless dimensions — an ``unknown`` never triggers a
+finding on its own (except where a rule explicitly demands a proven
+dimension, e.g. LEDGER01's joules requirement).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+# ---- the lattice -----------------------------------------------------------
+
+CYCLES = "cycles"
+SECONDS = "s"
+JOULES = "j"
+WATTS = "w"
+HERTZ = "hz"
+NUM = "dimensionless"
+UNKNOWN = "unknown"
+
+#: Every element of the lattice, top row first (for docs and SARIF help).
+ALL_DIMS = (CYCLES, SECONDS, JOULES, WATTS, HERTZ, NUM, UNKNOWN)
+
+_KNOWN = frozenset({CYCLES, SECONDS, JOULES, WATTS, HERTZ})
+
+# ---- seeding tables --------------------------------------------------------
+
+_SUFFIXES: Tuple[Tuple[str, str], ...] = (
+    ("_cycles", CYCLES), ("_cycle", CYCLES),
+    ("_seconds", SECONDS), ("_ns", SECONDS), ("_us", SECONDS),
+    ("_ms", SECONDS), ("_ps", SECONDS), ("_fs", SECONDS), ("_s", SECONDS),
+    ("_joules", JOULES), ("_nj", JOULES), ("_pj", JOULES), ("_uj", JOULES),
+    ("_mj", JOULES), ("_fj", JOULES), ("_j", JOULES),
+    ("_watts", WATTS), ("_nw", WATTS), ("_uw", WATTS), ("_mw", WATTS),
+    ("_w", WATTS),
+    ("_hertz", HERTZ), ("_khz", HERTZ), ("_mhz", HERTZ), ("_ghz", HERTZ),
+    ("_hz", HERTZ),
+)
+
+_BARE_NAMES: Dict[str, str] = {
+    "cycles": CYCLES, "cycle": CYCLES,
+    "seconds": SECONDS, "ns": SECONDS, "us": SECONDS, "ms": SECONDS,
+    "ps": SECONDS, "fs": SECONDS,
+    "joules": JOULES, "nj": JOULES, "pj": JOULES, "uj": JOULES,
+    "mj": JOULES, "fj": JOULES,
+    "watts": WATTS, "nw": WATTS, "uw": WATTS, "mw": WATTS,
+    "hertz": HERTZ, "khz": HERTZ, "mhz": HERTZ, "ghz": HERTZ,
+}
+
+#: ``repro.units`` scale constants and the dimension a product with them has.
+UNITS_CONSTANTS: Dict[str, str] = {
+    "FS": SECONDS, "PS": SECONDS, "NS": SECONDS, "US": SECONDS,
+    "MS": SECONDS,
+    "FJ": JOULES, "PJ": JOULES, "NJ": JOULES, "UJ": JOULES, "MJ": JOULES,
+    "NW": WATTS, "UW": WATTS, "MW": WATTS,
+    "KHZ": HERTZ, "MHZ": HERTZ, "GHZ": HERTZ,
+}
+
+#: Return dimensions of the ``repro.units`` conversion helpers.
+UNITS_HELPERS: Dict[str, str] = {
+    "cycles_to_seconds": SECONDS,
+    "cycles_to_ns": SECONDS,
+    "seconds_to_cycles": CYCLES,
+    "seconds_to_cycles_ceil": CYCLES,
+    "energy_joules": JOULES,
+}
+
+# Builtins/stdlib calls that pass their argument's dimension through.
+_PASSTHROUGH_CALLS = frozenset({
+    "int", "float", "abs", "round", "min", "max", "sum",
+    "ceil", "floor", "fabs", "copysign",
+})
+_NUM_CALLS = frozenset({"len", "range", "enumerate", "bool", "ord", "hash"})
+
+
+def dim_of_name(name: str) -> str:
+    """Seed dimension of an identifier from the naming convention."""
+    if name in UNITS_CONSTANTS:
+        return UNITS_CONSTANTS[name]
+    lowered = name.lower()
+    if lowered in _BARE_NAMES:
+        return _BARE_NAMES[lowered]
+    for suffix, dim in _SUFFIXES:
+        if lowered.endswith(suffix):
+            return dim
+    return UNKNOWN
+
+
+def is_known(dim: str) -> bool:
+    """Whether ``dim`` is a definite physical dimension (not num/unknown)."""
+    return dim in _KNOWN
+
+
+def definite_mismatch(a: str, b: str) -> bool:
+    """Two *proven* dimensions that disagree (the only thing rules act on)."""
+    return is_known(a) and is_known(b) and a != b
+
+
+# ---- arithmetic ------------------------------------------------------------
+
+_MUL: Dict[Tuple[str, str], str] = {
+    (WATTS, SECONDS): JOULES,
+    (SECONDS, HERTZ): CYCLES,
+}
+
+_DIV: Dict[Tuple[str, str], str] = {
+    (JOULES, SECONDS): WATTS,
+    (JOULES, WATTS): SECONDS,
+    (CYCLES, HERTZ): SECONDS,
+    (CYCLES, SECONDS): HERTZ,
+    (NUM, SECONDS): HERTZ,
+    (NUM, HERTZ): SECONDS,
+}
+
+
+def multiply(a: str, b: str) -> str:
+    """Dimension of ``a * b`` (``w * s -> j``, dimensionless transparent)."""
+    if a == UNKNOWN or b == UNKNOWN:
+        return UNKNOWN
+    if a == NUM:
+        return b
+    if b == NUM:
+        return a
+    return _MUL.get((a, b)) or _MUL.get((b, a)) or UNKNOWN
+
+
+def divide(a: str, b: str) -> str:
+    """Dimension of ``a / b`` (``j / s -> w``, like-over-like cancels)."""
+    if a == UNKNOWN or b == UNKNOWN:
+        return UNKNOWN
+    if b == NUM:
+        return a
+    if a == b:
+        return NUM
+    return _DIV.get((a, b), UNKNOWN)
+
+
+def add(a: str, b: str) -> str:
+    """Addition/subtraction: dimensions must agree; tolerate epsilons.
+
+    A dimensionless operand is treated as "the other side's dimension"
+    because epsilon literals (``x_s + 1e-12``) are pervasive and harmless;
+    a disagreement of two known dimensions yields ``unknown`` (UNIT01 and
+    UNIT02 flag the mix where it matters — silently poisoning downstream
+    inference would double-report it).
+    """
+    if a == b:
+        return a
+    if a in (NUM, UNKNOWN):
+        return b if b != UNKNOWN else UNKNOWN
+    if b in (NUM, UNKNOWN):
+        return a
+    return UNKNOWN
+
+
+def join(a: str, b: str) -> str:
+    """Control-flow merge: keep a dimension only when both paths agree."""
+    return a if a == b else UNKNOWN
+
+
+# ---- expression / function inference ---------------------------------------
+
+class CallObservation:
+    """One call expression seen during inference (consumed by summary.py)."""
+
+    __slots__ = ("node", "name", "receiver", "arg_dims", "arg_tuple_lens",
+                 "kw_dims", "result_context")
+
+    def __init__(self, node: ast.Call, name: str, receiver: str,
+                 arg_dims: List[str], arg_tuple_lens: List[Optional[int]],
+                 kw_dims: Dict[str, str], result_context: str) -> None:
+        self.node = node
+        self.name = name
+        self.receiver = receiver
+        self.arg_dims = arg_dims
+        self.arg_tuple_lens = arg_tuple_lens
+        self.kw_dims = kw_dims
+        self.result_context = result_context
+
+
+def dotted_name(node: ast.AST) -> str:
+    """Best-effort dotted rendering of a call target (``self.ledger.add``)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted_name(node.value)
+        return f"{base}.{node.attr}" if base else node.attr
+    if isinstance(node, ast.Call):
+        return dotted_name(node.func) + "()"
+    return ""
+
+
+class FunctionAnalyzer:
+    """Forward abstract interpreter over one function body.
+
+    One linear pass in statement order — no fixpoint.  That under-infers
+    loop-carried dimensions but never *mis*-infers them, which is the right
+    trade for a linter.  Every :class:`ast.Call` encountered is reported to
+    ``on_call`` together with its locally inferred argument dimensions and
+    the dimension context its result flows into (assignment-target suffix).
+    """
+
+    def __init__(self, on_call: Optional[Callable[[CallObservation], None]] = None) -> None:
+        self._on_call = on_call
+        self.env: Dict[str, str] = {}
+        self.return_dims: List[str] = []
+
+    # -- public API --------------------------------------------------------
+
+    def analyze(self, func: ast.AST, is_method: bool = False
+                ) -> Tuple[List[Tuple[str, str]], str]:
+        """Infer ``(params, return_dim)`` for a FunctionDef/AsyncFunctionDef."""
+        assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+        params: List[Tuple[str, str]] = []
+        args = func.args
+        all_args = list(args.posonlyargs) + list(args.args)
+        for index, arg in enumerate(all_args):
+            if is_method and index == 0 and arg.arg in ("self", "cls"):
+                self.env[arg.arg] = UNKNOWN
+                continue
+            dim = dim_of_name(arg.arg)
+            params.append((arg.arg, dim))
+            self.env[arg.arg] = dim
+        for arg in args.kwonlyargs:
+            dim = dim_of_name(arg.arg)
+            params.append((arg.arg, dim))
+            self.env[arg.arg] = dim
+        for stmt in func.body:
+            self._exec(stmt)
+        return_dim = UNKNOWN
+        if self.return_dims:
+            return_dim = self.return_dims[0]
+            for dim in self.return_dims[1:]:
+                return_dim = join(return_dim, dim)
+        return params, return_dim
+
+    # -- statements --------------------------------------------------------
+
+    def _exec(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            context = UNKNOWN
+            if len(stmt.targets) == 1 and isinstance(stmt.targets[0], ast.Name):
+                context = dim_of_name(stmt.targets[0].id)
+            value_dim = self.infer(stmt.value, context=context)
+            for target in stmt.targets:
+                self._bind(target, stmt.value, value_dim)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                context = (dim_of_name(stmt.target.id)
+                           if isinstance(stmt.target, ast.Name) else UNKNOWN)
+                value_dim = self.infer(stmt.value, context=context)
+                self._bind(stmt.target, stmt.value, value_dim)
+        elif isinstance(stmt, ast.AugAssign):
+            value_dim = self.infer(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                current = self.env.get(stmt.target.id,
+                                       dim_of_name(stmt.target.id))
+                self.env[stmt.target.id] = self._combine(
+                    stmt.op, current, value_dim)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is None:
+                self.return_dims.append(UNKNOWN)
+            else:
+                self.return_dims.append(self.infer(stmt.value))
+        elif isinstance(stmt, ast.Expr):
+            self.infer(stmt.value)
+        elif isinstance(stmt, ast.For):
+            iter_dim = self.infer(stmt.iter)
+            self._bind_loop_target(stmt.target, stmt.iter, iter_dim)
+            for sub in stmt.body + stmt.orelse:
+                self._exec(sub)
+        elif isinstance(stmt, ast.While):
+            self.infer(stmt.test)
+            for sub in stmt.body + stmt.orelse:
+                self._exec(sub)
+        elif isinstance(stmt, ast.If):
+            self.infer(stmt.test)
+            for sub in stmt.body + stmt.orelse:
+                self._exec(sub)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self.infer(item.context_expr)
+                if item.optional_vars is not None and \
+                        isinstance(item.optional_vars, ast.Name):
+                    self.env[item.optional_vars.id] = UNKNOWN
+            for sub in stmt.body:
+                self._exec(sub)
+        elif isinstance(stmt, ast.Try):
+            for sub in stmt.body:
+                self._exec(sub)
+            for handler in stmt.handlers:
+                for sub in handler.body:
+                    self._exec(sub)
+            for sub in stmt.orelse + stmt.finalbody:
+                self._exec(sub)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested defs get their own analyzer in summary.py; here we only
+            # note the name so it doesn't look like an undefined quantity.
+            self.env[stmt.name] = UNKNOWN
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for value in ast.iter_child_nodes(stmt):
+                if isinstance(value, ast.expr):
+                    self.infer(value)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    self.env.pop(target.id, None)
+        # pass/break/continue/global/import/class: nothing to propagate.
+
+    def _bind(self, target: ast.AST, value: ast.AST, value_dim: str) -> None:
+        if isinstance(target, ast.Name):
+            # When inference can't justify a dimension, the target's own
+            # suffix is still the author's claim — seed from it so
+            # ``leak_w = v * 0.1`` makes the function return watts.
+            if value_dim == UNKNOWN:
+                value_dim = dim_of_name(target.id)
+            self.env[target.id] = value_dim
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            elements: Sequence[ast.AST] = target.elts
+            value_elts: Sequence[Optional[ast.AST]]
+            if isinstance(value, (ast.Tuple, ast.List)) and \
+                    len(value.elts) == len(elements):
+                value_elts = value.elts
+            else:
+                value_elts = [None] * len(elements)
+            for element, sub_value in zip(elements, value_elts):
+                if isinstance(element, ast.Name):
+                    if sub_value is not None:
+                        self.env[element.id] = self.infer(sub_value)
+                    else:
+                        self.env[element.id] = dim_of_name(element.id)
+        # Attribute/Subscript targets: no local binding to track.
+
+    def _bind_loop_target(self, target: ast.AST, iterable: ast.AST,
+                          iter_dim: str) -> None:
+        if isinstance(target, ast.Name):
+            if isinstance(iterable, ast.Call) and \
+                    isinstance(iterable.func, ast.Name) and \
+                    iterable.func.id == "range":
+                self.env[target.id] = NUM
+            else:
+                # Iterating a *_cycles container yields cycles, etc.; else
+                # fall back to the loop variable's own suffix.
+                self.env[target.id] = iter_dim if is_known(iter_dim) \
+                    else dim_of_name(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                if isinstance(element, ast.Name):
+                    self.env[element.id] = dim_of_name(element.id)
+
+    @staticmethod
+    def _combine(op: ast.operator, a: str, b: str) -> str:
+        if isinstance(op, (ast.Mult,)):
+            return multiply(a, b)
+        if isinstance(op, (ast.Div, ast.FloorDiv)):
+            return divide(a, b)
+        if isinstance(op, (ast.Add, ast.Sub, ast.Mod)):
+            return add(a, b)
+        return UNKNOWN
+
+    # -- expressions -------------------------------------------------------
+
+    def infer(self, node: ast.AST, context: str = UNKNOWN) -> str:
+        """Dimension of an expression under the current environment."""
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool):
+                return NUM
+            if isinstance(node.value, (int, float)):
+                return NUM
+            return UNKNOWN
+        if isinstance(node, ast.Name):
+            if node.id in self.env:
+                return self.env[node.id]
+            return dim_of_name(node.id)
+        if isinstance(node, ast.Attribute):
+            self.infer(node.value)
+            return dim_of_name(node.attr)
+        if isinstance(node, ast.Subscript):
+            # ``state_cycles[state]`` carries its container's dimension.
+            return self.infer(node.value)
+        if isinstance(node, ast.BinOp):
+            left = self.infer(node.left)
+            right = self.infer(node.right)
+            return self._combine(node.op, left, right)
+        if isinstance(node, ast.UnaryOp):
+            return self.infer(node.operand)
+        if isinstance(node, ast.BoolOp):
+            for value in node.values:
+                self.infer(value)
+            return UNKNOWN
+        if isinstance(node, ast.Compare):
+            self.infer(node.left)
+            for comparator in node.comparators:
+                self.infer(comparator)
+            return NUM
+        if isinstance(node, ast.IfExp):
+            self.infer(node.test)
+            return join(self.infer(node.body), self.infer(node.orelse))
+        if isinstance(node, ast.Call):
+            return self._infer_call(node, context)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            for element in node.elts:
+                self.infer(element)
+            return UNKNOWN
+        if isinstance(node, ast.Dict):
+            for value in list(node.keys) + list(node.values):
+                if value is not None:
+                    self.infer(value)
+            return UNKNOWN
+        if isinstance(node, (ast.GeneratorExp, ast.ListComp, ast.SetComp,
+                             ast.DictComp)):
+            return UNKNOWN
+        if isinstance(node, ast.Starred):
+            return self.infer(node.value)
+        return UNKNOWN
+
+    def _infer_call(self, node: ast.Call, context: str) -> str:
+        name = ""
+        receiver = ""
+        if isinstance(node.func, ast.Name):
+            name = node.func.id
+        elif isinstance(node.func, ast.Attribute):
+            name = node.func.attr
+            receiver = dotted_name(node.func.value)
+        arg_dims: List[str] = []
+        arg_tuple_lens: List[Optional[int]] = []
+        for arg in node.args:
+            if isinstance(arg, ast.Starred):
+                arg_dims.append(UNKNOWN)
+                arg_tuple_lens.append(None)
+                self.infer(arg.value)
+                continue
+            arg_dims.append(self.infer(arg))
+            arg_tuple_lens.append(len(arg.elts)
+                                  if isinstance(arg, ast.Tuple) else None)
+        kw_dims: Dict[str, str] = {}
+        for keyword in node.keywords:
+            if keyword.arg is not None:
+                kw_dims[keyword.arg] = self.infer(keyword.value)
+            else:
+                self.infer(keyword.value)
+
+        if self._on_call is not None and name:
+            self._on_call(CallObservation(
+                node=node, name=name, receiver=receiver, arg_dims=arg_dims,
+                arg_tuple_lens=arg_tuple_lens, kw_dims=kw_dims,
+                result_context=context))
+
+        # Result dimension.
+        if name in UNITS_HELPERS:
+            return UNITS_HELPERS[name]
+        if name in _NUM_CALLS:
+            return NUM
+        if name in _PASSTHROUGH_CALLS:
+            if name in ("min", "max"):
+                result = UNKNOWN
+                if arg_dims:
+                    result = arg_dims[0]
+                    for dim in arg_dims[1:]:
+                        result = join(result, dim)
+                return result
+            return arg_dims[0] if arg_dims else UNKNOWN
+        if name:
+            return dim_of_name(name)
+        return UNKNOWN

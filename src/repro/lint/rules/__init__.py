@@ -6,14 +6,22 @@ Importing this package registers every rule with the registry in
 
 from __future__ import annotations
 
+from repro.lint.rules.config_deadness import ConfigDeadnessRule
 from repro.lint.rules.determinism import DeterminismRule
+from repro.lint.rules.event_queue import EventQueueRule
 from repro.lint.rules.float_equality import FloatEqualityRule
 from repro.lint.rules.fsm_legality import FsmLegalityRule
+from repro.lint.rules.interprocedural import InterproceduralUnitRule
+from repro.lint.rules.ledger import EnergyLedgerRule
 from repro.lint.rules.unit_safety import UnitSafetyRule
 
 __all__ = [
+    "ConfigDeadnessRule",
     "DeterminismRule",
+    "EnergyLedgerRule",
+    "EventQueueRule",
     "FloatEqualityRule",
     "FsmLegalityRule",
+    "InterproceduralUnitRule",
     "UnitSafetyRule",
 ]

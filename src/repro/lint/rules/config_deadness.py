@@ -1,0 +1,71 @@
+"""CFG01 — dead or unvalidated configuration fields.
+
+The ``SystemConfig`` tree is the contract between the paper's tables and
+the simulator: every knob either steers the model or it lies to the reader
+who sweeps it.  Using the project-wide symbol table, two smells are
+flagged on the dataclasses defined in ``repro/config.py``:
+
+1. **Dead field** — a field never read anywhere in non-test source
+   (validation reads inside ``__post_init__`` do not count as uses, and
+   neither do ``to_dict``/``asdict`` round-trips, which touch fields
+   dynamically).  A knob nobody reads silently no-ops every sweep that
+   varies it.
+
+2. **Unvalidated numeric field** — an ``int``/``float`` field of a class
+   that has a ``__post_init__`` but never mentions the field there (as an
+   attribute or a string fed to ``getattr``).  An out-of-range value then
+   fails mid-simulation — or worse, doesn't.
+
+Reads are matched by attribute *name* across the project (no type
+resolution), which errs quiet: a generically named field (``name``,
+``enabled``) is considered read if *anything* reads that attribute name.
+"""
+
+from __future__ import annotations
+
+from repro.lint.base import ProjectRule, register_project_rule
+from repro.lint.findings import Severity
+from repro.lint.project.graph import ProjectModel
+
+_CONFIG_MODULE_SUFFIX = "repro/config.py"
+_NUMERIC_ANNOTATIONS = frozenset({"int", "float"})
+
+
+@register_project_rule
+class ConfigDeadnessRule(ProjectRule):
+    rule_id = "CFG01"
+    summary = ("SystemConfig-tree dataclass fields must be read somewhere "
+               "in src and numeric fields must be range-checked in "
+               "__post_init__")
+    default_severity = Severity.ERROR
+
+    def run(self, model: "object") -> None:
+        assert isinstance(model, ProjectModel)
+        for path, info in model.dataclasses:
+            if not path.endswith(_CONFIG_MODULE_SUFFIX):
+                continue
+            for field_info in info.fields:
+                line_text = field_info.line_text
+                # src_attr_reads excludes __post_init__ bodies, so the
+                # union over src modules is exactly "non-validation reads"
+                # — including reads in the defining module's own
+                # properties and sweep helpers.
+                if field_info.name not in model.src_attr_reads:
+                    self.report(
+                        path, field_info.line, 1,
+                        f"config field {info.name}.{field_info.name} is "
+                        f"never read anywhere in src/repro; a knob nobody "
+                        f"reads silently no-ops every sweep that varies it "
+                        f"— wire it into the model or delete it",
+                        line_text=line_text)
+                elif field_info.annotation in _NUMERIC_ANNOTATIONS and \
+                        info.has_post_init and \
+                        field_info.name not in info.validated:
+                    self.report(
+                        path, field_info.line, 1,
+                        f"numeric config field {info.name}.{field_info.name} "
+                        f"is never range-checked in __post_init__; an "
+                        f"out-of-range value fails mid-simulation instead "
+                        f"of at construction",
+                        line_text=line_text,
+                        severity=Severity.WARNING)

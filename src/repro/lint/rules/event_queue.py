@@ -1,0 +1,111 @@
+"""EVT01 — event-queue misuse.
+
+The simulation kernel (:mod:`repro.events`) keys its heap on
+``(time, seq)`` where ``time`` is an integer cycle count and ``seq`` a
+monotonic tie-break; both halves of that contract can be broken at a call
+site without any runtime error:
+
+1. **Wrong time domain** — ``queue.schedule(delay, ...)`` /
+   ``queue.schedule_at(time, ...)`` with a delay inferred as seconds (or
+   any other SI dimension).  The int coercion hides it: a 5 ns delay
+   becomes cycle 0, and every "future" event fires immediately.
+
+2. **Nondeterministic tie-breaking** — hand-rolled ``heapq.heappush``
+   with a ``(time, payload)`` pair whose payload is a callback or other
+   unorderable object: equal times then compare the payloads, which either
+   raises or (for objects with identity-based ordering) varies between
+   runs.  Heap entries need a monotonic sequence number between time and
+   payload — or better, the :class:`repro.events.EventQueue` itself.
+
+3. **Encapsulation breach** — touching ``EventQueue``'s ``_heap`` from
+   outside ``repro/events.py`` bypasses both guarantees at once.
+
+Scoped to non-test ``repro`` source; ``repro/events.py`` itself is exempt
+(it implements the contract).
+"""
+
+from __future__ import annotations
+
+from repro.lint.base import ProjectRule, register_project_rule
+from repro.lint.findings import Severity
+from repro.lint.project.dimensions import CYCLES, NUM, UNKNOWN
+from repro.lint.project.graph import ProjectModel, is_test_path
+from repro.lint.project.summary import CallSite, ModuleSummary
+
+_OWNING_MODULE = "repro/events.py"
+_SCHEDULE_NAMES = frozenset({"schedule", "schedule_at"})
+_QUEUE_HINTS = ("queue", "events")
+# Payload spellings that mark a heap tuple as carrying an unorderable
+# object in its comparable positions.
+_CALLBACK_HINTS = ("callback", "handler", "lambda", "fn", "func", "action")
+
+_ACCEPTED_TIME_DIMS = frozenset({CYCLES, NUM, UNKNOWN})
+
+
+def _is_queue_receiver(receiver: str) -> bool:
+    lowered = receiver.lower()
+    return any(hint in lowered for hint in _QUEUE_HINTS)
+
+
+@register_project_rule
+class EventQueueRule(ProjectRule):
+    rule_id = "EVT01"
+    summary = ("EventQueue times must be cycle counts and heap entries "
+               "must carry a deterministic tie-break")
+    default_severity = Severity.ERROR
+
+    def run(self, model: "object") -> None:
+        assert isinstance(model, ProjectModel)
+        for summary in model.summaries:
+            if is_test_path(summary.path) or \
+                    summary.path.endswith(_OWNING_MODULE):
+                continue
+            for function in summary.functions:
+                for call in function.calls:
+                    self._check_call(model, summary.path, call)
+            self._check_heap_access(summary)
+
+    def _check_call(self, model: ProjectModel, path: str,
+                    call: CallSite) -> None:
+        if call.name in _SCHEDULE_NAMES and _is_queue_receiver(call.receiver):
+            if call.arg_dims:
+                time_dim = call.arg_dims[0]
+                if time_dim not in _ACCEPTED_TIME_DIMS:
+                    self.report(
+                        path, call.line, call.col,
+                        f"{call.name}() time "
+                        f"({call.arg_reprs[0] if call.arg_reprs else 'expression'}) "
+                        f"is inferred as '{time_dim}', but the event queue "
+                        f"runs on integer cycles; convert with "
+                        f"repro.units.seconds_to_cycles_ceil first",
+                        line_text=call.line_text)
+        elif call.name in ("heappush", "heapreplace", "heappushpop"):
+            # A 2-tuple (time, payload) heap entry has no tie-break: equal
+            # times fall through to comparing payloads.  Flag it when the
+            # payload is visibly unorderable (a callback/lambda), which is
+            # exactly the EventQueue bug class; int payloads (e.g. core
+            # indices) are a legitimate deterministic tie-break and stay
+            # silent.
+            if len(call.arg_tuple_lens) >= 2 and call.arg_tuple_lens[1] == 2:
+                payload_repr = (call.arg_reprs[1]
+                                if len(call.arg_reprs) > 1 else "").lower()
+                if any(hint in payload_repr for hint in _CALLBACK_HINTS):
+                    self.report(
+                        path, call.line, call.col,
+                        f"heap entry {call.arg_reprs[1]} pairs a time with "
+                        f"a callback and no sequence number: equal times "
+                        f"tie-break by comparing callbacks, which is "
+                        f"nondeterministic between runs; push "
+                        f"(time, seq, payload) or use repro.events."
+                        f"EventQueue",
+                        line_text=call.line_text)
+
+    def _check_heap_access(self, summary: ModuleSummary) -> None:
+        for write in summary.attr_writes:
+            if write.name == "_heap" and "queue" in write.receiver.lower():
+                self.report(
+                    summary.path, write.line, write.col,
+                    f"direct write to EventQueue._heap outside "
+                    f"{_OWNING_MODULE} bypasses the (time, seq) ordering "
+                    f"contract; use schedule()/schedule_at()/cancel()",
+                    line_text=write.line_text)

@@ -1,0 +1,89 @@
+"""UNIT02 — interprocedural dimension mismatch.
+
+UNIT01 sees a single expression; UNIT02 follows values across call
+boundaries using the phase-2 project model.  Two shapes are flagged:
+
+1. **Argument mismatch** — a call passes a value whose inferred dimension
+   contradicts the dimension of the parameter it lands in, positionally or
+   by keyword: ``wake_latency(latency_cycles)`` where the parameter is
+   ``t_access_s`` (cycles into seconds silently rescales the break-even
+   decision by the clock frequency — the paper's central claim inverted by
+   a 10^9 factor).
+
+2. **Return-use mismatch** — a call's result visibly flows into a context
+   of a different dimension than the callee returns: ``total_j =
+   leakage_power(...)`` where the function returns watts.
+
+Both only fire on a *definite* disagreement of two proven dimensions; an
+``unknown`` on either side stays silent.  Ambiguous bare names (several
+same-named definitions whose signatures disagree) are skipped rather than
+guessed at — see :class:`~repro.lint.project.graph.ProjectModel`.
+Test files are exempt (they routinely build deliberately-wrong values);
+a synthetic ``repro/...`` tree under a tmp dir is still checked, which is
+how the regression tests seed bugs.
+"""
+
+from __future__ import annotations
+
+from repro.lint.base import ProjectRule, register_project_rule
+from repro.lint.findings import Severity
+from repro.lint.project.dimensions import definite_mismatch
+from repro.lint.project.graph import ProjectModel, is_test_path
+from repro.lint.project.summary import CallSite
+
+
+@register_project_rule
+class InterproceduralUnitRule(ProjectRule):
+    rule_id = "UNIT02"
+    summary = ("interprocedural unit safety: argument/parameter and "
+               "return/use dimensions must agree across call boundaries")
+    default_severity = Severity.ERROR
+
+    def run(self, model: "object") -> None:
+        assert isinstance(model, ProjectModel)
+        for summary in model.summaries:
+            if is_test_path(summary.path):
+                continue
+            for function in summary.functions:
+                for call in function.calls:
+                    self._check_call(model, summary.path, call)
+
+    def _check_call(self, model: ProjectModel, path: str,
+                    call: CallSite) -> None:
+        if not model.resolve(call.name):
+            return
+        for index, arg_dim in enumerate(call.arg_dims):
+            agreed = model.agreed_param_dim(call.name, index)
+            if agreed is None:
+                continue
+            param_name, param_dim = agreed
+            if definite_mismatch(arg_dim, param_dim):
+                arg_repr = (call.arg_reprs[index]
+                            if index < len(call.arg_reprs) else "")
+                self.report(
+                    path, call.line, call.col,
+                    f"argument {index + 1} ({arg_repr or 'expression'}) of "
+                    f"{call.name}() is inferred as '{arg_dim}' but parameter "
+                    f"'{param_name}' expects '{param_dim}'; convert through "
+                    f"repro.units first",
+                    line_text=call.line_text)
+        for keyword, arg_dim in call.kw_dims:
+            param_dim_kw = model.agreed_keyword_dim(call.name, keyword)
+            if param_dim_kw is None:
+                continue
+            if definite_mismatch(arg_dim, param_dim_kw):
+                self.report(
+                    path, call.line, call.col,
+                    f"keyword argument '{keyword}' of {call.name}() is "
+                    f"inferred as '{arg_dim}' but the parameter expects "
+                    f"'{param_dim_kw}'; convert through repro.units first",
+                    line_text=call.line_text)
+        return_dim = model.agreed_return_dim(call.name)
+        if return_dim is not None and definite_mismatch(
+                return_dim, call.result_context):
+            self.report(
+                path, call.line, call.col,
+                f"{call.name}() returns '{return_dim}' but its result is "
+                f"used as '{call.result_context}'; convert through "
+                f"repro.units (or rename the target)",
+                line_text=call.line_text)

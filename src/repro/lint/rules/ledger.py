@@ -1,0 +1,117 @@
+"""LEDGER01 — energy-ledger conservation.
+
+The :class:`~repro.core.energy.EnergyLedger` is the single source of truth
+for every energy number in the evaluation; a charge that arrives in the
+wrong unit (or bypasses the ledger's API) silently double-counts or drops
+energy without failing any invariant until the final tables are wrong.
+Three statically checkable obligations:
+
+1. ``ledger.add_event(x)`` — ``x`` must be *provably joules* (suffix,
+   ``energy_joules(...)``, or a ``w * s`` product).  An unknown dimension
+   is a finding here: the whole point of the ledger is that every charge
+   is auditable.
+
+2. ``ledger.add_interval(tag, n)`` — ``n`` must be provably cycles, and
+   ``tag`` must be a recognizable component tag (a ``PowerState.X``
+   member or a state-named variable), so residency can never be booked
+   against an unknown bucket.
+
+3. Ledger internals (``_state_cycles``, ``_state_energy_j``,
+   ``_event_energy_j``, ``_event_count``) must not be written outside
+   ``repro/core/energy.py`` — mutating them directly skips the
+   non-negativity checks and the conservation invariant.
+
+Scoped to non-test source; tests drive the ledger API with raw literals
+on purpose.
+"""
+
+from __future__ import annotations
+
+from repro.lint.base import ProjectRule, register_project_rule
+from repro.lint.findings import Severity
+from repro.lint.project.dimensions import CYCLES, JOULES
+from repro.lint.project.graph import ProjectModel, is_test_path
+from repro.lint.project.summary import CallSite
+
+_LEDGER_HINTS = ("ledger",)
+_INTERNAL_FIELDS = frozenset({
+    "_state_cycles", "_state_energy_j", "_event_energy_j", "_event_count"})
+_OWNING_MODULE = "repro/core/energy.py"
+
+
+def _is_ledger_receiver(receiver: str) -> bool:
+    lowered = receiver.lower()
+    return any(hint in lowered for hint in _LEDGER_HINTS)
+
+
+def _is_component_tag(repr_text: str) -> bool:
+    """A recognizable residency tag: a PowerState member or state-ish name."""
+    if not repr_text:
+        return False
+    if repr_text.startswith("PowerState."):
+        return True
+    return "state" in repr_text.lower()
+
+
+@register_project_rule
+class EnergyLedgerRule(ProjectRule):
+    rule_id = "LEDGER01"
+    summary = ("EnergyLedger mutations must charge proven joules/cycles "
+               "with a known component tag, through the ledger API only")
+    default_severity = Severity.ERROR
+
+    def run(self, model: "object") -> None:
+        assert isinstance(model, ProjectModel)
+        for summary in model.summaries:
+            if is_test_path(summary.path):
+                continue
+            for function in summary.functions:
+                for call in function.calls:
+                    self._check_call(summary.path, call)
+            if not summary.path.endswith(_OWNING_MODULE):
+                for write in summary.attr_writes:
+                    if write.name in _INTERNAL_FIELDS:
+                        self.report(
+                            summary.path, write.line, write.col,
+                            f"direct write to EnergyLedger internal "
+                            f"'{write.name}' outside {_OWNING_MODULE}; "
+                            f"charge energy through add_interval()/"
+                            f"add_event() (or merge()) so the conservation "
+                            f"invariants hold",
+                            line_text=write.line_text)
+
+    def _check_call(self, path: str, call: CallSite) -> None:
+        if call.name == "add_event" and _is_ledger_receiver(call.receiver):
+            if not call.arg_dims and not call.kw_dims:
+                return  # malformed call; the runtime will complain
+            dim = call.arg_dims[0] if call.arg_dims else \
+                dict(call.kw_dims).get("energy_j", "unknown")
+            if dim != JOULES:
+                self.report(
+                    path, call.line, call.col,
+                    f"add_event() charge "
+                    f"({call.arg_reprs[0] if call.arg_reprs else 'expression'}) "
+                    f"is not provably joules (inferred '{dim}'); energy "
+                    f"charged to the ledger must be a *_j value or an "
+                    f"energy_joules()/power*time product",
+                    line_text=call.line_text)
+        elif call.name == "add_interval" and _is_ledger_receiver(call.receiver):
+            if len(call.arg_dims) >= 2:
+                cycles_dim = call.arg_dims[1]
+                if cycles_dim != CYCLES:
+                    self.report(
+                        path, call.line, call.col,
+                        f"add_interval() residency "
+                        f"({call.arg_reprs[1] if len(call.arg_reprs) > 1 else 'expression'}) "
+                        f"is not provably cycles (inferred '{cycles_dim}'); "
+                        f"interval charges are cycle counts, convert with "
+                        f"repro.units.seconds_to_cycles_ceil if needed",
+                        line_text=call.line_text)
+            if call.arg_reprs and not _is_component_tag(call.arg_reprs[0]):
+                self.report(
+                    path, call.line, call.col,
+                    f"add_interval() tag ({call.arg_reprs[0]!r}) is not a "
+                    f"recognizable component tag; pass a PowerState member "
+                    f"(or a state-named variable) so no residency is booked "
+                    f"against an unknown bucket",
+                    line_text=call.line_text)

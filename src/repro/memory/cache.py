@@ -1,9 +1,12 @@
 """Set-associative cache with LRU, random, and tree-PLRU replacement.
 
 The cache tracks tag state only (no data payloads — the simulator never
-needs values).  Stores are write-back / write-allocate: a store hit marks
-the line dirty, and evicting a dirty line reports a write-back so the
-hierarchy can charge DRAM write traffic.
+needs values).  Stores are write-allocate; with ``config.write_back`` (the
+default) a store hit marks the line dirty and evicting a dirty line
+reports a write-back so the hierarchy can charge DRAM write traffic.
+With ``write_back=False`` the cache is write-through: stores never dirty
+a line, so evictions are free and the write traffic is charged at access
+time by the caller.
 """
 
 from __future__ import annotations
@@ -39,7 +42,10 @@ class _Line:
 
 
 class Cache:
-    """One level of a write-back, write-allocate set-associative cache."""
+    """One level of a write-allocate set-associative cache.
+
+    Write-back versus write-through is selected by ``config.write_back``.
+    """
 
     def __init__(self, config: CacheConfig, seed: int = 0) -> None:
         self.config = config
@@ -85,7 +91,7 @@ class Cache:
         for way, line in enumerate(lines):
             if line.valid and line.tag == tag:
                 self.counters.add("hits")
-                if is_write:
+                if is_write and self.config.write_back:
                     line.dirty = True
                 self._touch(index, way)
                 return CacheAccessResult(hit=True)
@@ -100,7 +106,7 @@ class Cache:
             writeback = victim_block << self._offset_bits
         victim.tag = tag
         victim.valid = True
-        victim.dirty = is_write
+        victim.dirty = is_write and self.config.write_back
         self._touch(index, way)
         return CacheAccessResult(hit=False, writeback_address=writeback)
 

@@ -1,0 +1,147 @@
+"""The ``--fix`` autofixer: rewrites, import insertion, and idempotency."""
+
+import textwrap
+
+from repro.lint import fix_source, lint_paths
+from repro.lint.cli import main as lint_main
+from repro.lint.fixes import fix_files
+
+
+def dedent(text):
+    return textwrap.dedent(text)
+
+
+class TestFloatEqualityFix:
+    PATH = "repro/power/mod.py"
+
+    def test_eq_becomes_isclose_with_import(self):
+        source = dedent("""\
+            def same(a_j, b_j):
+                return a_j == b_j
+        """)
+        fixed, count = fix_source(self.PATH, source)
+        assert count == 1
+        assert "math.isclose(a_j, b_j)" in fixed
+        assert fixed.startswith("import math\n")
+
+    def test_noteq_becomes_not_isclose(self):
+        source = dedent("""\
+            import math
+
+            def differ(a_j, b_j):
+                return a_j != b_j
+        """)
+        fixed, count = fix_source(self.PATH, source)
+        assert count == 1
+        assert "not math.isclose(a_j, b_j)" in fixed
+        assert fixed.count("import math") == 1
+
+    def test_out_of_scope_files_untouched(self):
+        source = "def same(a_j, b_j):\n    return a_j == b_j\n"
+        fixed, count = fix_source("repro/trace/mod.py", source)
+        assert count == 0
+        assert fixed == source
+
+    def test_int_comparisons_untouched(self):
+        source = "def same(n_cycles, m_cycles):\n" \
+                 "    return n_cycles == m_cycles\n"
+        _, count = fix_source(self.PATH, source)
+        assert count == 0
+
+
+class TestScaleLiteralFix:
+    PATH = "repro/sim/mod.py"
+
+    def test_operand_suffix_picks_the_constant(self):
+        source = dedent("""\
+            def convert(total_ns):
+                return total_ns * 1e-9
+        """)
+        fixed, count = fix_source(self.PATH, source)
+        assert count == 1
+        assert "total_ns * NS" in fixed
+        assert "from repro.units import NS" in fixed
+
+    def test_target_suffix_resolves_ambiguity(self):
+        source = dedent("""\
+            def convert(raw):
+                energy_j = raw * 1e-9
+                return energy_j
+        """)
+        fixed, count = fix_source(self.PATH, source)
+        assert count == 1
+        assert "raw * NJ" in fixed
+
+    def test_unambiguous_frequency_scale(self):
+        source = dedent("""\
+            def freq(mult):
+                return mult * 1e9
+        """)
+        fixed, count = fix_source(self.PATH, source)
+        assert count == 1
+        assert "mult * GHZ" in fixed
+
+    def test_unprovable_literal_left_alone(self):
+        source = dedent("""\
+            def convert(raw):
+                return raw * 1e-9
+        """)
+        fixed, count = fix_source(self.PATH, source)
+        assert count == 0
+        assert fixed == source
+
+    def test_existing_units_import_extended(self):
+        source = dedent("""\
+            from repro.units import MS
+
+            def convert(total_ns):
+                return total_ns * 1e-9
+        """)
+        fixed, count = fix_source(self.PATH, source)
+        assert count == 1
+        assert "from repro.units import MS, NS" in fixed
+
+
+class TestIdempotencyAndCli:
+    def test_fix_twice_is_a_fixpoint(self):
+        source = dedent("""\
+            def mixed(a_j, b_j, total_ns):
+                scaled = total_ns * 1e-9
+                return a_j == b_j
+        """)
+        once, count_once = fix_source("repro/power/mod.py", source)
+        twice, count_twice = fix_source("repro/power/mod.py", once)
+        assert count_once == 2
+        assert count_twice == 0
+        assert twice == once
+
+    def test_fixed_tree_lints_clean(self, tmp_path):
+        module = tmp_path / "repro" / "power" / "mod.py"
+        module.parent.mkdir(parents=True)
+        module.write_text(dedent("""\
+            def same(a_j, b_j, total_ns):
+                scaled_s = total_ns * 1e-9
+                return a_j == b_j
+        """), encoding="utf-8")
+        before = lint_paths([str(tmp_path)], rule_ids=["FLT01", "UNIT01"])
+        assert not before.ok
+        changed = fix_files([str(module)])
+        assert changed == {str(module).replace("\\", "/"): 2}
+        after = lint_paths([str(tmp_path)], rule_ids=["FLT01", "UNIT01"])
+        assert after.ok, [f.message for f in after.all_findings]
+
+    def test_cli_fix_flag(self, tmp_path, capsys):
+        module = tmp_path / "repro" / "power" / "mod.py"
+        module.parent.mkdir(parents=True)
+        module.write_text("def same(a_j, b_j):\n    return a_j == b_j\n",
+                          encoding="utf-8")
+        exit_code = lint_main([str(tmp_path), "--fix", "--no-cache"])
+        output = capsys.readouterr().out
+        assert "--fix applied 1 edit(s)" in output
+        assert exit_code == 0
+        assert "math.isclose" in module.read_text(encoding="utf-8")
+
+    def test_syntax_error_files_skipped(self, tmp_path):
+        module = tmp_path / "broken.py"
+        module.write_text("def oops(:\n", encoding="utf-8")
+        assert fix_files([str(module)]) == {}

@@ -22,3 +22,17 @@ def test_strict_modules_pass_mypy():
     stdout, stderr, exit_code = mypy_api.run(
         ["--config-file", str(REPO_ROOT / "pyproject.toml")])
     assert exit_code == 0, f"mypy --strict failed:\n{stdout}\n{stderr}"
+
+
+def test_strict_list_covers_config_and_events():
+    """The strict list must keep growing, never shrink.
+
+    ``repro.config`` and ``repro.events`` were promoted alongside the
+    whole-program linter (their field names and signatures are what CFG01
+    and EVT01 reason about); this guards against them silently dropping
+    back out of the list.
+    """
+    pyproject = (REPO_ROOT / "pyproject.toml").read_text(encoding="utf-8")
+    for module_path in ("src/repro/config.py", "src/repro/events.py"):
+        assert module_path in pyproject, \
+            f"{module_path} missing from [tool.mypy] files"
