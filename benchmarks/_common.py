@@ -16,10 +16,12 @@ of pure Python; the shapes are stable well below these lengths.
 
 from __future__ import annotations
 
+import json
 import sys
 from pathlib import Path
 
 from repro.analysis.report import ExperimentReport
+from repro.obs import SelfProfiler, environment_manifest
 
 # Trace lengths used across benches (ops, not instructions).
 FULL_OPS = 30_000
@@ -28,14 +30,23 @@ MULTICORE_OPS = 6_000
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+# Self-profile of the most recent run_once() call, attached to the JSON
+# archive by the next emit().  Module-level because pytest-benchmark owns
+# the call plumbing between the two.
+_LAST_PROFILE = None
+
 
 def emit(report: ExperimentReport) -> ExperimentReport:
     """Print a report to the live console and archive it to results/.
 
-    Each experiment leaves two artifacts: the rendered table
-    (``results/<id>.txt``, quoted by EXPERIMENTS.md) and the raw rows
-    (``results/<id>.csv``, for plotting scripts).
+    Each experiment leaves three artifacts: the rendered table
+    (``results/<id>.txt``, quoted by EXPERIMENTS.md), the raw rows
+    (``results/<id>.csv``, for plotting scripts), and a self-describing
+    JSON document (``results/<id>.json`` — rows plus the environment
+    manifest and the run's self-profile, so a result can always be traced
+    back to the code and machine that produced it).
     """
+    global _LAST_PROFILE
     from repro.analysis.export import report_to_csv
 
     text = report.render()
@@ -46,9 +57,36 @@ def emit(report: ExperimentReport) -> ExperimentReport:
     stem = report.experiment_id.lower()
     (RESULTS_DIR / f"{stem}.txt").write_text(text + "\n", encoding="utf-8")
     report_to_csv(report, RESULTS_DIR / f"{stem}.csv")
+    payload = {
+        "schema": "mapg.bench-result/1",
+        "experiment_id": report.experiment_id,
+        "caption": report.caption,
+        "headers": list(report.headers),
+        "rows": [[cell if isinstance(cell, (int, float)) else str(cell)
+                  for cell in row] for row in report.rows],
+        "notes": list(report.notes),
+        "environment": environment_manifest(),
+        "self_profile": _LAST_PROFILE,
+    }
+    (RESULTS_DIR / f"{stem}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    _LAST_PROFILE = None
     return report
 
 
 def run_once(benchmark, fn):
-    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
-    return benchmark.pedantic(fn, rounds=1, iterations=1)
+    """Run ``fn`` exactly once under pytest-benchmark and return its result.
+
+    The call is self-profiled (wall time, peak RSS) and the report is
+    stashed for the following :func:`emit` to archive alongside the rows.
+    """
+    global _LAST_PROFILE
+    profiler = SelfProfiler()
+
+    def profiled():
+        with profiler.stage("experiment"):
+            return fn()
+
+    result = benchmark.pedantic(profiled, rounds=1, iterations=1)
+    _LAST_PROFILE = profiler.report()
+    return result

@@ -13,11 +13,16 @@ Both runs happen in-process so the comparison measures the analyzer, not
 interpreter startup (which is identical for both and would dilute the
 ratio).  Timing uses ``time.perf_counter`` — this script is tooling, not
 simulation, so the wall clock is the right instrument (and ``# mapglint:
-disable`` is therefore not needed: DET01 only polices ``repro/sim`` and
-``repro/core``).
+disable`` is therefore not needed: DET01 polices the ``repro/sim``,
+``repro/core``, ``repro/cpu``, ``repro/memory``, and ``repro/obs``
+packages, not ``scripts/``).
+
+With ``--require-clean`` the gate additionally fails when the tree has any
+lint findings at all — CI passes it so a regression in the rules or the
+code cannot hide behind a green timing result.
 
 Exit codes: 0 = both bounds hold, 1 = a bound failed, 2 = lint findings
-prevented a clean measurement.
+prevented a clean measurement (only with ``--require-clean``).
 """
 
 from __future__ import annotations
@@ -50,6 +55,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--min-speedup", type=float, default=5.0,
                         metavar="RATIO")
     parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--require-clean", action="store_true",
+                        help="also fail (exit 2) if the tree has findings")
     args = parser.parse_args(argv)
 
     cache_dir = tempfile.mkdtemp(prefix="mapglint-timing-")
@@ -88,10 +95,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"FAIL: {problem}", file=sys.stderr)
     if not cold_report.ok:
         # Findings don't invalidate the timing, but surface them: the CI
-        # lint step is the real gate, this one only measures.
+        # lint step is the real gate, this one only measures — unless
+        # --require-clean promotes them to a failure of their own.
         print(f"note: tree is not lint-clean "
               f"({len(cold_report.all_findings)} finding(s))",
               file=sys.stderr)
+        if args.require_clean:
+            print("FAIL: --require-clean set and findings present",
+                  file=sys.stderr)
+            return 2
     return 1 if problems else 0
 
 

@@ -26,6 +26,8 @@ Package map (see DESIGN.md for the full inventory):
 * ``repro.workloads`` — SPEC-like synthetic trace generation
 * ``repro.sim``       — simulator + experiment runners
 * ``repro.analysis``  — aggregation and report formatting
+* ``repro.obs``       — deterministic observability: metrics registry,
+  Perfetto gating-span traces, run manifests, self-profiling
 """
 
 from repro.config import (
@@ -50,6 +52,7 @@ from repro.errors import (
 from repro.power import CorePowerModel, GatingCircuit, SleepTransistorNetwork, get_technology
 from repro.sim import (
     ComparisonResult,
+    GatingTraceEvent,
     MulticoreResult,
     SimulationResult,
     Simulator,
@@ -86,6 +89,7 @@ __all__ = [
     "SleepTransistorNetwork",
     "get_technology",
     "ComparisonResult",
+    "GatingTraceEvent",
     "MulticoreResult",
     "SimulationResult",
     "Simulator",

@@ -69,6 +69,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="L2 stride-prefetch degree; 0 disables (F11)")
     run_cmd.add_argument("--miss-window", type=int, default=1,
                          help="outstanding-miss window; >1 = MLP core (F15)")
+    run_cmd.add_argument("--trace-out", metavar="PATH",
+                         help="write a Perfetto/Chrome trace JSON of the run "
+                              "to PATH, plus a run manifest "
+                              "(*.manifest.json) and a JSONL metrics "
+                              "snapshot (*.metrics.jsonl) next to it; open "
+                              "the trace at ui.perfetto.dev (1 trace us = "
+                              "1 core cycle)")
+    run_cmd.add_argument("--self-profile", action="store_true",
+                         help="measure the simulator itself (wall time, "
+                              "instructions/sec, peak RSS) and report it")
 
     compare_cmd = commands.add_parser(
         "compare", help="policy-comparison matrix (F2)")
@@ -103,6 +113,10 @@ def build_parser() -> argparse.ArgumentParser:
                            help="wake tokens; 0 disables arbitration")
     multi_cmd.add_argument("--ops", type=int, default=5_000)
     multi_cmd.add_argument("--seed", type=int, default=1)
+    multi_cmd.add_argument("--trace-out", metavar="PATH",
+                           help="write a Perfetto trace (one lane group per "
+                                "core plus the shared DRAM lane), manifest, "
+                                "and metrics JSONL, as in `run --trace-out`")
 
     commands.add_parser("profiles", help="list built-in workload profiles")
 
@@ -152,6 +166,44 @@ def _result_rows(result: SimulationResult) -> List[List[str]]:
     return rows
 
 
+def _run_one(config: SystemConfig, args: argparse.Namespace,
+             recorder: object = None) -> SimulationResult:
+    """One simulation of the run command's workload (profile or trace file)."""
+    if args.workload.endswith((".jsonl", ".bin")):
+        from repro.sim.simulator import Simulator
+
+        trace = read_trace_file(args.workload)
+        simulator = Simulator(config, workload=args.workload,
+                              temperature_c=args.temperature, seed=args.seed,
+                              recorder=recorder)
+        return simulator.run(trace)
+    return run_workload(config, args.workload, args.ops, seed=args.seed,
+                        temperature_c=args.temperature, recorder=recorder)
+
+
+def _export_observability(recorder: "object", manifest: dict,
+                          trace_out: str) -> None:
+    """Write the trace / manifest / metrics triple next to ``trace_out``."""
+    from pathlib import Path
+
+    from repro.obs import (artifact_paths, metrics_to_jsonl, write_chrome_trace,
+                           write_manifest)
+
+    trace_path, manifest_path, metrics_path = artifact_paths(trace_out)
+    trace_path.parent.mkdir(parents=True, exist_ok=True)
+    events = write_chrome_trace(recorder, trace_path, manifest=manifest)
+    write_manifest(manifest, manifest_path)
+    metrics_to_jsonl(recorder.metrics, metrics_path,
+                     header={"schema": "mapg.run-metrics/1",
+                             "workload": manifest.get("workload"),
+                             "seed": manifest.get("seed"),
+                             "config_digest": manifest.get("config_digest")})
+    print(f"wrote {events} trace events to {trace_path} "
+          f"(open at https://ui.perfetto.dev; 1 trace us = 1 cycle)",
+          file=sys.stderr)
+    print(f"wrote {manifest_path} and {metrics_path}", file=sys.stderr)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     import dataclasses
 
@@ -163,16 +215,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
         prefetcher=PrefetcherConfig(enabled=args.prefetch_degree > 0,
                                     degree=max(1, args.prefetch_degree)))
     config = with_policy(base, args.policy, sleep_mode=args.sleep_mode)
-    if args.workload.endswith((".jsonl", ".bin")):
-        from repro.sim.simulator import Simulator
 
-        trace = read_trace_file(args.workload)
-        simulator = Simulator(config, workload=args.workload,
-                              temperature_c=args.temperature, seed=args.seed)
-        result = simulator.run(trace)
+    recorder = None
+    profiler = None
+    if args.trace_out:
+        from repro.obs import SpanRecorder
+
+        recorder = SpanRecorder()
+    if args.trace_out or args.self_profile:
+        from repro.obs.profile import SelfProfiler
+
+        profiler = SelfProfiler()
+    if profiler is not None:
+        with profiler.stage("simulate") as stage:
+            result = _run_one(config, args, recorder)
+            stage.add_events(result.instructions)
     else:
-        result = run_workload(config, args.workload, args.ops, seed=args.seed,
-                              temperature_c=args.temperature)
+        result = _run_one(config, args, recorder)
     payload = {
         "workload": result.workload,
         "policy": result.policy,
@@ -185,24 +244,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
         "state_cycles": result.state_cycles,
     }
     if args.baseline:
-        never_config = with_policy(config, "never")
-        if args.workload.endswith((".jsonl", ".bin")):
-            from repro.sim.simulator import Simulator
-
-            baseline = Simulator(never_config, workload=args.workload,
-                                 temperature_c=args.temperature,
-                                 seed=args.seed).run(
-                                     read_trace_file(args.workload))
-        else:
-            baseline = run_workload(never_config, args.workload,
-                                    args.ops, seed=args.seed,
-                                    temperature_c=args.temperature)
+        baseline = _run_one(with_policy(config, "never"), args)
         delta = result.compare(baseline)
         payload["vs_never"] = {
             "energy_saving": delta.energy_saving,
             "performance_penalty": delta.performance_penalty,
             "edp_ratio": delta.edp_ratio,
         }
+    if profiler is not None and args.self_profile:
+        payload["self_profile"] = profiler.report()
+    if args.trace_out:
+        from repro.obs import build_manifest
+
+        manifest = build_manifest(
+            config, workload=args.workload, seed=args.seed,
+            num_ops=None if args.workload.endswith((".jsonl", ".bin"))
+            else args.ops,
+            command="run",
+            extra={"self_profile": profiler.report()})
+        _export_observability(recorder, manifest, args.trace_out)
     if args.json:
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
@@ -214,6 +274,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"saving {format_fraction_pct(delta['energy_saving'])}, "
               f"penalty {format_fraction_pct(delta['performance_penalty'], 2)}, "
               f"EDP ratio {delta['edp_ratio']:.3f}")
+    if profiler is not None and args.self_profile:
+        report = payload.get("self_profile") or profiler.report()
+        simulate = next((stage for stage in report["stages"]
+                         if stage["name"] == "simulate"), None)
+        rss = report.get("peak_rss_bytes")
+        print(f"\nself-profile: {report['total_wall_s']:.3f} s wall"
+              + (f", {simulate['events_per_sec']:,.0f} instructions/s"
+                 if simulate else "")
+              + (f", peak RSS {rss / (1024 * 1024):.1f} MiB"
+                 if rss else ""))
     return 0
 
 
@@ -318,7 +388,20 @@ def _cmd_multicore(args: argparse.Namespace) -> int:
     config = with_policy(
         SystemConfig(num_cores=len(args.workloads), token=token_config),
         args.policy)
-    result = run_multicore(config, args.workloads, args.ops, seed=args.seed)
+    recorder = None
+    if args.trace_out:
+        from repro.obs import SpanRecorder
+
+        recorder = SpanRecorder()
+    result = run_multicore(config, args.workloads, args.ops, seed=args.seed,
+                           recorder=recorder)
+    if args.trace_out:
+        from repro.obs import build_manifest
+
+        manifest = build_manifest(
+            config, workload=",".join(args.workloads), seed=args.seed,
+            num_ops=args.ops, command="multicore")
+        _export_observability(recorder, manifest, args.trace_out)
     rows = []
     for core_id, core_result in result.per_core.items():
         rows.append([

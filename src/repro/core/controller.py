@@ -26,6 +26,7 @@ from repro.core.policies import GatingDecision, GatingPolicy
 from repro.core.token import TokenArbiter
 from repro.core.wakeup import WakeupPlan, resolve_wakeup
 from repro.errors import SimulationError
+from repro.obs.spans import NULL_RECORDER, NullRecorder
 from repro.power.model import CorePowerModel, PowerState
 from repro.stats import CounterSet, RunningMean
 
@@ -62,7 +63,8 @@ class MapgController:
     def __init__(self, policy: GatingPolicy, analyzer: BreakEvenAnalyzer,
                  power_model: CorePowerModel,
                  token_arbiter: Optional[TokenArbiter] = None,
-                 core_id: int = 0) -> None:
+                 core_id: int = 0,
+                 recorder: Optional[NullRecorder] = None) -> None:
         self.policy = policy
         self.analyzer = analyzer
         self.power_model = power_model
@@ -71,6 +73,15 @@ class MapgController:
         self.counters = CounterSet()
         self.prediction_error = RunningMean()
         self.prediction_relative_error = RunningMean()
+        # Observability: decision instants land on a per-core controller
+        # track (cycle-timestamped; see docs/OBSERVABILITY.md).
+        self._obs = recorder if recorder is not None else NULL_RECORDER
+        self._track = f"core{core_id}/controller"
+        if self._obs.enabled:
+            self._m_decisions = self._obs.metrics.counter(
+                "controller.decisions", help="gating decisions taken")
+            self._m_aborts = self._obs.metrics.counter(
+                "controller.aborts", help="gates aborted during drain")
 
     def process_stall(self, pc: int, bank: int, actual_stall_cycles: int,
                       start_cycle: int = 0, kind: str = "",
@@ -101,6 +112,18 @@ class MapgController:
             outcome = self._ungated_outcome(decision, actual_stall_cycles)
         else:
             outcome = self._gated_outcome(decision, actual_stall_cycles, start_cycle)
+
+        if self._obs.enabled:
+            self._m_decisions.inc()
+            if outcome.aborted:
+                self._m_aborts.inc()
+            name = ("abort" if outcome.aborted
+                    else f"gate.{decision.mode}" if outcome.gated else "skip")
+            self._obs.instant(
+                self._track, name, start_cycle,
+                args={"reason": decision.reason,
+                      "predicted_cycles": decision.predicted_cycles,
+                      "actual_cycles": actual_stall_cycles})
 
         # Predictors learn the *total* latency of the blocking access.
         self.policy.observe(pc, bank, actual_stall_cycles + elapsed_cycles, kind)

@@ -17,9 +17,10 @@ wake-token arbiter defers the rail recharge.
 from __future__ import annotations
 
 import enum
-from typing import Dict, FrozenSet
+from typing import Dict, FrozenSet, Optional
 
 from repro.errors import SimulationError
+from repro.obs.spans import NULL_RECORDER, NullRecorder
 from repro.power.model import PowerState
 from repro.stats import IntervalAccumulator
 
@@ -67,10 +68,16 @@ def power_state_of(state: PgState) -> PowerState:
 class PowerGateStateMachine:
     """Transition-validated state tracker with a time-in-state ledger."""
 
-    def __init__(self, start_cycle: int = 0, keep_records: bool = False) -> None:
+    def __init__(self, start_cycle: int = 0, keep_records: bool = False,
+                 recorder: Optional[NullRecorder] = None,
+                 track: str = "pg") -> None:
         self._state = PgState.ACTIVE
         self._ledger = IntervalAccumulator(
             PgState.ACTIVE.value, start_cycle, keep_records=keep_records)
+        # Observability: each legal transition emits a cycle-timestamped
+        # instant on ``track`` (default free NULL_RECORDER; see repro.obs).
+        self._obs = recorder if recorder is not None else NULL_RECORDER
+        self._track = track
 
     @property
     def state(self) -> PgState:
@@ -90,6 +97,10 @@ class PowerGateStateMachine:
         if not self.can_transition(target):
             raise SimulationError(
                 f"illegal power-gate transition {self._state.value} -> {target.value}")
+        if self._obs.enabled:
+            self._obs.instant(
+                self._track, f"{self._state.value}->{target.value}", cycle,
+                args={"from": self._state.value, "to": target.value})
         self._ledger.switch(target.value, cycle)
         self._state = target
 

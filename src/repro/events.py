@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
+from repro.obs.spans import NULL_RECORDER, NullRecorder
 
 EventCallback = Callable[..., None]
 
@@ -36,10 +37,19 @@ class Event:
 class EventQueue:
     """Priority queue of events keyed by (time, insertion order)."""
 
-    def __init__(self) -> None:
+    def __init__(self, recorder: Optional[NullRecorder] = None,
+                 track: str = "events") -> None:
         self._heap: List[Tuple[int, int, "_Entry"]] = []
         self._seq = itertools.count()
         self._now = 0
+        # Observability: each executed event emits an instant on ``track``
+        # timestamped with its (simulated) fire cycle; the disabled default
+        # costs one attribute check per step.
+        self._obs = recorder if recorder is not None else NULL_RECORDER
+        self._track = track
+        if self._obs.enabled:
+            self._m_executed = self._obs.metrics.counter(
+                "events.executed", help="event-queue callbacks run")
 
     @property
     def now(self) -> int:
@@ -83,6 +93,11 @@ class EventQueue:
             return False
         time, __, entry = heapq.heappop(self._heap)
         self._now = time
+        if self._obs.enabled:
+            self._m_executed.inc()
+            self._obs.instant(
+                self._track,
+                getattr(entry.callback, "__name__", "event"), time)
         entry.callback(*entry.args)
         return True
 

@@ -11,7 +11,11 @@ sources of hidden nondeterminism are flagged:
 
 2. **Wall-clock reads** (simulation code) — ``time.time()``,
    ``datetime.now()`` etc. inside ``repro/sim``, ``repro/core``,
-   ``repro/cpu``, or ``repro/memory`` leak host time into simulated time.
+   ``repro/cpu``, ``repro/memory``, or ``repro/obs`` leak host time into
+   simulated time.  One module is allowlisted: ``repro/obs/profile.py``
+   *is* the self-profiling harness, whose whole job is measuring the
+   simulator's own wall time and memory — it reports about the host, never
+   into the simulation (see docs/OBSERVABILITY.md).
 
 3. **Set iteration** (``repro/sim`` and ``repro/core``) — iterating a set
    literal or ``set()``/``frozenset()`` call orders elements by hash;
@@ -54,7 +58,11 @@ _WALL_CLOCK = {
     "date": frozenset({"today"}),
 }
 
-_SIM_PACKAGES = ("repro/sim", "repro/core", "repro/cpu", "repro/memory")
+_SIM_PACKAGES = ("repro/sim", "repro/core", "repro/cpu", "repro/memory",
+                 "repro/obs")
+# Modules exempt from the wall-clock check: the self-profiler measures the
+# host on purpose and is the single blessed home for perf_counter et al.
+_WALL_CLOCK_ALLOWLIST = ("repro/obs/profile.py",)
 _SET_SCOPE = ("repro/sim", "repro/core")
 
 
@@ -80,8 +88,9 @@ def _is_numpy_random_chain(node: ast.Attribute) -> bool:
 @register_rule
 class DeterminismRule(LintRule):
     rule_id = "DET01"
-    summary = ("no global-RNG calls, no wall-clock reads in sim code, "
-               "no set iteration in repro/sim and repro/core")
+    summary = ("no global-RNG calls, no wall-clock reads in sim/obs code "
+               "(repro/obs/profile.py allowlisted), no set iteration in "
+               "repro/sim and repro/core")
     default_severity = Severity.ERROR
 
     def visit_Call(self, node: ast.Call) -> None:
@@ -109,6 +118,9 @@ class DeterminismRule(LintRule):
 
     def _in_sim_code(self) -> bool:
         assert self.context is not None
+        if any(self.context.is_module(module)
+               for module in _WALL_CLOCK_ALLOWLIST):
+            return False
         return self.context.in_package(*_SIM_PACKAGES)
 
     # -- set iteration -----------------------------------------------------

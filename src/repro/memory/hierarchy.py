@@ -30,6 +30,7 @@ from repro.memory.cache import Cache
 from repro.memory.dram import Dram, DramAccessResult
 from repro.memory.mshr import Mshr
 from repro.memory.prefetch import PrefetcherConfig, StridePrefetcher
+from repro.obs.spans import NULL_RECORDER, NullRecorder
 from repro.stats import CounterSet
 from repro.units import NS, cycles_to_ns, seconds_to_cycles_ceil
 
@@ -68,7 +69,8 @@ class MemoryHierarchy:
     def __init__(self, l1_config: CacheConfig, l2_config: CacheConfig,
                  dram_config: DramConfig, frequency_hz: float, seed: int = 0,
                  shared_dram: "Dram | None" = None,
-                 prefetcher_config: "PrefetcherConfig | None" = None) -> None:
+                 prefetcher_config: "PrefetcherConfig | None" = None,
+                 recorder: "NullRecorder | None" = None) -> None:
         self.l1 = Cache(l1_config, seed=seed)
         self.l2 = Cache(l2_config, seed=seed + 1)
         # Multi-core systems pass one Dram shared by all hierarchies so bank
@@ -82,6 +84,14 @@ class MemoryHierarchy:
         if prefetcher_config is not None and prefetcher_config.enabled:
             self.prefetcher = StridePrefetcher(prefetcher_config)
         self._prefetched_lines: "dict[int, None]" = {}
+        # Observability: off-chip accesses become spans on the shared DRAM
+        # track; the disabled default costs one attribute check per access.
+        self._obs = recorder if recorder is not None else NULL_RECORDER
+        if self._obs.enabled:
+            self._m_accesses = self._obs.metrics.counter(
+                "mem.accesses", help="hierarchy accesses serviced")
+            self._m_dram = self._obs.metrics.counter(
+                "mem.dram_accesses", help="demand accesses that left the chip")
 
     def _cycles_to_ns(self, cycles: int) -> float:
         return cycles_to_ns(cycles, self._frequency_hz)
@@ -97,6 +107,8 @@ class MemoryHierarchy:
         (when configured) trains on it.
         """
         self.counters.add("accesses")
+        if self._obs.enabled:
+            self._m_accesses.inc()
         line = self.l1.line_address(address)
         l1_lat = self.l1.config.hit_latency_cycles
 
@@ -125,6 +137,14 @@ class MemoryHierarchy:
         self.l1_mshr.allocate(line, issue, cycle + total)
         if l1_result.writeback_address is not None:
             self._writeback(l1_result.writeback_address, issue, to_dram=False)
+        if self._obs.enabled and below.level == "dram":
+            self._m_dram.inc()
+            kind = below.dram.kind if below.dram is not None else "dram"
+            bank = below.dram.bank if below.dram is not None else -1
+            self._obs.span(
+                "dram", kind, cycle, total, category="mem",
+                args={"bank": bank, "write": is_write,
+                      "mshr_wait_cycles": mshr_wait + below.mshr_wait_cycles})
         return AccessResult(
             total, level=below.level, merged=below.merged,
             mshr_wait_cycles=mshr_wait + below.mshr_wait_cycles, dram=below.dram,

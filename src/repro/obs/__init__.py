@@ -1,0 +1,79 @@
+"""Deterministic observability: metrics, spans, manifests, self-profiling.
+
+The simulator's evidence layer (see ``docs/OBSERVABILITY.md``):
+
+* :mod:`repro.obs.metrics`  — ``Counter`` / ``Gauge`` / ``Histogram`` in a
+  ``Registry``; cycle-domain, never wall-clock.
+* :mod:`repro.obs.spans`    — ``SpanRecorder`` buffers cycle-timestamped
+  spans per track; ``NULL_RECORDER`` is the free disabled default.
+* :mod:`repro.obs.perfetto` — Chrome trace-event / Perfetto JSON export
+  (``python -m repro run ... --trace-out run.json``).
+* :mod:`repro.obs.manifest` — run manifests tying every result to its
+  config digest, seed, workload, git SHA, and package version.
+* :mod:`repro.obs.runlog`   — structured JSONL logs.
+* :mod:`repro.obs.profile`  — simulator self-profiling (events/sec, wall
+  time per stage, peak RSS); the only module allowed the wall clock.
+"""
+
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    build_manifest,
+    config_digest,
+    environment_manifest,
+    git_revision,
+    read_manifest,
+    write_manifest,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    Registry,
+    default_registry,
+)
+from repro.obs.perfetto import (
+    artifact_paths,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.profile import PROFILE_SCHEMA, SelfProfiler, StageTimer, peak_rss_bytes
+from repro.obs.runlog import (
+    JsonlWriter,
+    metrics_to_jsonl,
+    read_jsonl,
+    write_jsonl,
+)
+from repro.obs.spans import NULL_RECORDER, NullRecorder, SpanRecorder
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "PROFILE_SCHEMA",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlWriter",
+    "MetricError",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Registry",
+    "SelfProfiler",
+    "SpanRecorder",
+    "StageTimer",
+    "artifact_paths",
+    "build_manifest",
+    "config_digest",
+    "default_registry",
+    "environment_manifest",
+    "git_revision",
+    "metrics_to_jsonl",
+    "peak_rss_bytes",
+    "read_jsonl",
+    "read_manifest",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_manifest",
+]

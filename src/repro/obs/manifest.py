@@ -1,0 +1,102 @@
+"""Run manifests: every exported number traceable to its exact inputs.
+
+A manifest is a small JSON document written next to a result (a trace
+file, a bench row, an EXPERIMENTS.md table) answering "what produced
+this?": the full configuration and its digest, the workload and seed, the
+package version, the interpreter, and the git commit of the working tree.
+Two runs with equal manifests are bit-identical by the determinism
+discipline, so the digest doubles as a cache/comparison key.
+
+Deliberately absent: timestamps.  Wall-clock time is banned from the
+simulation layer (DET01) and adds nothing here — the git SHA already
+orders manifests historically, and omitting time keeps manifests of
+repeated runs byte-identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import subprocess
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
+
+from repro.config import SystemConfig
+from repro.version import __version__
+
+PathLike = Union[str, Path]
+
+MANIFEST_SCHEMA = "mapg.run-manifest/1"
+
+
+def config_digest(config: SystemConfig) -> str:
+    """Stable sha256 over the canonical JSON form of a configuration."""
+    canonical = json.dumps(config.to_dict(), sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def git_revision(cwd: Optional[PathLike] = None) -> Optional[str]:
+    """The current git commit SHA, or None outside a repo / without git."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(cwd) if cwd is not None else None,
+            capture_output=True, text=True, timeout=10, check=False)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if completed.returncode != 0:
+        return None
+    sha = completed.stdout.strip()
+    return sha or None
+
+
+def environment_manifest() -> Dict[str, Any]:
+    """The run-independent part: package, interpreter, platform, commit."""
+    return {
+        "package_version": __version__,
+        "python_version": platform.python_version(),
+        "platform": platform.platform(),
+        "git_sha": git_revision(),
+    }
+
+
+def build_manifest(config: SystemConfig, *, workload: str, seed: int,
+                   num_ops: Optional[int] = None,
+                   command: Optional[str] = None,
+                   extra: Optional[Mapping[str, Any]] = None
+                   ) -> Dict[str, Any]:
+    """Assemble the full manifest for one simulation run."""
+    manifest: Dict[str, Any] = {
+        "schema": MANIFEST_SCHEMA,
+        "workload": workload,
+        "seed": seed,
+        "ops": num_ops,
+        "policy": config.gating.policy,
+        "technology": config.technology,
+        "num_cores": config.num_cores,
+        "config_digest": config_digest(config),
+        "config": config.to_dict(),
+    }
+    if command is not None:
+        manifest["command"] = command
+    manifest.update(environment_manifest())
+    if extra:
+        manifest.update(dict(extra))
+    return manifest
+
+
+def write_manifest(manifest: Mapping[str, Any], path: PathLike) -> None:
+    """Write a manifest as stable, sorted, human-diffable JSON."""
+    Path(path).write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+
+
+def read_manifest(path: PathLike) -> Dict[str, Any]:
+    """Load a manifest written by :func:`write_manifest`."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(data, dict):
+        raise ValueError(f"manifest {path} is not a JSON object")
+    return data

@@ -1,0 +1,142 @@
+"""Chrome trace-event / Perfetto JSON export of a recorded run.
+
+The output is the classic ``{"traceEvents": [...]}`` JSON that
+https://ui.perfetto.dev (and chrome://tracing) opens directly.  Mapping:
+
+* every recorder *track* becomes one named thread (lane) of a single
+  "mapg-sim" process, in sorted-name order;
+* spans are complete events (``ph: "X"``), instants are ``ph: "i"`` with
+  thread scope, counter samples are ``ph: "C"``;
+* timestamps are **cycles written into the microsecond field** — the
+  trace-event format has no unit metadata, so one trace microsecond equals
+  one core cycle.  Durations read off the Perfetto ruler are therefore
+  cycle counts, which is exactly what the MAPG argument is about.
+
+The run manifest travels in ``otherData`` so a trace file is
+self-describing: config digest, seed, workload, and package version ride
+along with the timeline they explain.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from repro.errors import ReproError
+from repro.obs.spans import SpanRecorder
+
+PathLike = Union[str, Path]
+
+
+def artifact_paths(trace_path: PathLike) -> "tuple[Path, Path, Path]":
+    """Sibling artifact paths for one ``--trace-out`` target.
+
+    ``run.json`` -> (``run.json``, ``run.manifest.json``,
+    ``run.metrics.jsonl``) — the trace, the run manifest, and the JSONL
+    metrics snapshot always travel together.
+    """
+    path = Path(trace_path)
+    stem = path.name[:-5] if path.name.endswith(".json") else path.name
+    return (path,
+            path.with_name(stem + ".manifest.json"),
+            path.with_name(stem + ".metrics.jsonl"))
+
+
+_PROCESS_NAME = "mapg-sim"
+_REQUIRED_KEYS = ("name", "ph", "ts", "pid", "tid")
+
+
+def to_chrome_trace(recorder: SpanRecorder,
+                    manifest: Optional[Mapping[str, Any]] = None
+                    ) -> Dict[str, Any]:
+    """Convert a recorder's buffer into a Chrome trace-event document."""
+    tids = {track: index + 1 for index, track in enumerate(recorder.tracks())}
+    events: List[Dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": 0, "tid": 0, "ts": 0,
+        "args": {"name": _PROCESS_NAME},
+    }]
+    for track, tid in tids.items():
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": 0, "tid": tid, "ts": 0,
+            "args": {"name": track},
+        })
+        events.append({
+            "name": "thread_sort_index", "ph": "M", "pid": 0, "tid": tid,
+            "ts": 0, "args": {"sort_index": tid},
+        })
+    for event in recorder.events():
+        tid = tids[event["track"]]
+        if event["type"] == "span":
+            converted: Dict[str, Any] = {
+                "name": event["name"], "ph": "X", "ts": event["start"],
+                "dur": event["dur"], "pid": 0, "tid": tid,
+                "cat": event["cat"] or "sim",
+            }
+            if "args" in event:
+                converted["args"] = event["args"]
+        elif event["type"] == "instant":
+            converted = {
+                "name": event["name"], "ph": "i", "ts": event["start"],
+                "pid": 0, "tid": tid, "s": "t", "cat": "sim",
+            }
+            if "args" in event:
+                converted["args"] = event["args"]
+        elif event["type"] == "sample":
+            converted = {
+                "name": event["name"], "ph": "C", "ts": event["start"],
+                "pid": 0, "tid": tid,
+                "args": {event["name"]: event["value"]},
+            }
+        else:
+            raise ReproError(f"unknown recorded event type {event['type']!r}")
+        events.append(converted)
+    other: Dict[str, Any] = {"timeUnit": "cycles"}
+    if manifest is not None:
+        other["manifest"] = dict(manifest)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": other,
+    }
+
+
+def write_chrome_trace(recorder: SpanRecorder, path: PathLike,
+                       manifest: Optional[Mapping[str, Any]] = None) -> int:
+    """Write the trace JSON to ``path``; returns the event count."""
+    payload = to_chrome_trace(recorder, manifest=manifest)
+    Path(path).write_text(json.dumps(payload, sort_keys=True),
+                          encoding="utf-8")
+    return len(payload["traceEvents"])
+
+
+def validate_chrome_trace(payload: Mapping[str, Any]) -> List[str]:
+    """Schema-check a trace document; returns a list of problems (empty = ok).
+
+    Checks the subset of the trace-event format the viewers actually
+    require: the ``traceEvents`` array, the per-event required keys, a
+    duration on every complete event, and metadata naming for every tid
+    used.  Tests and the CI smoke job call this instead of eyeballing
+    Perfetto.
+    """
+    problems: List[str] = []
+    events = payload.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return ["traceEvents must be a non-empty list"]
+    named_tids = set()
+    for index, event in enumerate(events):
+        for key in _REQUIRED_KEYS:
+            if key not in event:
+                problems.append(f"event {index} missing required key {key!r}")
+        ph = event.get("ph")
+        if ph == "X" and "dur" not in event:
+            problems.append(f"complete event {index} has no dur")
+        if ph == "M" and event.get("name") == "thread_name":
+            named_tids.add(event.get("tid"))
+        if not isinstance(event.get("ts", 0), (int, float)):
+            problems.append(f"event {index} ts is not numeric")
+    used_tids = {event.get("tid") for event in events
+                 if event.get("ph") not in ("M",)}
+    for tid in sorted(used_tids - named_tids, key=str):
+        problems.append(f"tid {tid} is used but never named")
+    return problems

@@ -1,0 +1,132 @@
+"""Self-profiling of the simulator process — the wall-clock exception.
+
+This module measures the *simulator*, not the simulation: wall time per
+run stage, simulated events per wall second, and peak memory.  It is the
+**only** module in the tree allowed to touch ``time.perf_counter`` and
+``tracemalloc`` — the DET01 determinism rule scopes its wall-clock ban
+over ``repro/obs`` but allowlists exactly this file (see
+``repro/lint/rules/determinism.py``), because host time can never leak
+into simulated time from here: nothing in this module feeds values back
+into the model; it only reports.
+
+Usage::
+
+    profiler = SelfProfiler()
+    with profiler.stage("simulate") as stage:
+        result = simulator.run(ops)
+        stage.add_events(result.total_cycles)
+    report = profiler.report()   # wall_s, events/sec, peak RSS
+
+``report()`` output lands in run manifests and the bench harness's
+``results/<id>.json``, which is what every later performance PR measures
+itself against.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+try:  # POSIX-only; Windows falls back to tracemalloc peaks.
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None  # type: ignore[assignment]
+
+PROFILE_SCHEMA = "mapg.self-profile/1"
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """High-water resident set size of this process, in bytes.
+
+    Linux reports ``ru_maxrss`` in KiB, macOS in bytes; both are
+    normalized here.  Returns None where ``resource`` is unavailable.
+    """
+    if resource is None:  # pragma: no cover - non-POSIX platforms
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    import sys
+    if sys.platform == "darwin":  # pragma: no cover - exercised on macOS
+        return int(peak)
+    return int(peak) * 1024
+
+
+class StageTimer:
+    """One named stage: wall time plus an attributable event count."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.wall_s = 0.0
+        self.events = 0
+
+    def add_events(self, count: int) -> None:
+        """Attribute ``count`` simulated events (segments, ops, cycles...)
+        to this stage so the report can derive a throughput."""
+        self.events += count
+
+    @property
+    def events_per_sec(self) -> float:
+        if self.wall_s <= 0.0:
+            return 0.0
+        return self.events / self.wall_s
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "wall_s": self.wall_s,
+            "events": self.events,
+            "events_per_sec": self.events_per_sec,
+        }
+
+
+class SelfProfiler:
+    """Wall-time/memory profiler for whole runs, organized into stages.
+
+    ``trace_malloc=True`` additionally records the peak of Python-level
+    allocations via ``tracemalloc`` (slower; off by default).  Stages may
+    repeat — times of same-named stages accumulate.
+    """
+
+    def __init__(self, trace_malloc: bool = False) -> None:
+        self._stages: List[StageTimer] = []
+        self._by_name: Dict[str, StageTimer] = {}
+        self._trace_malloc = trace_malloc
+        self._peak_traced: Optional[int] = None
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[StageTimer]:
+        """Time one stage; re-entering a name accumulates into it."""
+        timer = self._by_name.get(name)
+        if timer is None:
+            timer = StageTimer(name)
+            self._by_name[name] = timer
+            self._stages.append(timer)
+        started_tracing = False
+        if self._trace_malloc and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            started_tracing = True
+        begin = time.perf_counter()
+        try:
+            yield timer
+        finally:
+            timer.wall_s += time.perf_counter() - begin
+            if started_tracing:
+                __, peak = tracemalloc.get_traced_memory()
+                tracemalloc.stop()
+                best = self._peak_traced or 0
+                self._peak_traced = max(best, int(peak))
+
+    @property
+    def total_wall_s(self) -> float:
+        return sum(stage.wall_s for stage in self._stages)
+
+    def report(self) -> Dict[str, Any]:
+        """Everything measured, JSON-ready (manifests, bench results)."""
+        return {
+            "schema": PROFILE_SCHEMA,
+            "total_wall_s": self.total_wall_s,
+            "peak_rss_bytes": peak_rss_bytes(),
+            "peak_traced_bytes": self._peak_traced,
+            "stages": [stage.snapshot() for stage in self._stages],
+        }

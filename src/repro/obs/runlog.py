@@ -1,0 +1,82 @@
+"""Structured JSONL run logs.
+
+One record per line, keys sorted, no timestamps — the same determinism
+discipline as the rest of the observability layer, so the metrics log of a
+seeded run is byte-identical across machines.  The primary producer is the
+CLI's ``--trace-out`` flow, which dumps the metric registry's snapshot
+next to the Perfetto trace; anything downstream (dashboards, the bench
+trajectory) greps or ``json.loads``-es lines without a schema dance.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from types import TracebackType
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Type, Union
+
+from repro.obs.metrics import Registry
+
+PathLike = Union[str, Path]
+
+
+class JsonlWriter:
+    """Append-only JSON-lines writer; usable as a context manager."""
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+        self._stream = open(self.path, "w", encoding="utf-8")
+        self._records = 0
+
+    def write(self, record: Mapping[str, Any]) -> None:
+        self._stream.write(json.dumps(dict(record), sort_keys=True) + "\n")
+        self._records += 1
+
+    @property
+    def records_written(self) -> int:
+        return self._records
+
+    def close(self) -> None:
+        if not self._stream.closed:
+            self._stream.close()
+
+    def __enter__(self) -> "JsonlWriter":
+        return self
+
+    def __exit__(self, exc_type: Optional[Type[BaseException]],
+                 exc: Optional[BaseException],
+                 tb: Optional[TracebackType]) -> None:
+        self.close()
+
+
+def write_jsonl(records: Iterable[Mapping[str, Any]], path: PathLike) -> int:
+    """Write ``records`` to ``path``; returns the line count."""
+    with JsonlWriter(path) as writer:
+        for record in records:
+            writer.write(record)
+        return writer.records_written
+
+
+def read_jsonl(path: PathLike) -> List[Dict[str, Any]]:
+    """Load every record of a JSONL file (skipping blank lines)."""
+    records: List[Dict[str, Any]] = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        if line.strip():
+            records.append(json.loads(line))
+    return records
+
+
+def metrics_to_jsonl(registry: Registry, path: PathLike,
+                     header: Optional[Mapping[str, Any]] = None) -> int:
+    """Dump a registry snapshot as JSONL: optional header line, then one
+    ``{"record": "metric", ...}`` line per instrument, sorted by name."""
+    with JsonlWriter(path) as writer:
+        if header is not None:
+            record = {"record": "header"}
+            record.update(dict(header))
+            writer.write(record)
+        for snapshot in registry.collect():
+            line = {"record": "metric"}
+            line.update(snapshot)
+            writer.write(line)
+        return writer.records_written

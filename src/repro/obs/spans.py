@@ -1,0 +1,116 @@
+"""Cycle-timestamped span recording for simulator timelines.
+
+A *span* is a named interval on a named track — "core0 slept cycles
+[1200, 1900)" — and a *track* is one horizontal lane in the exported
+Perfetto/Chrome trace (one per core, plus gating, DRAM, and controller
+lanes).  All timestamps are **simulation cycles**, never wall time, so a
+recorded trace is as bit-reproducible as the run that produced it.
+
+The hot-path contract: every instrumentation site guards itself with a
+single attribute check —
+
+    if self._obs.enabled:
+        self._obs.span(...)
+
+``NULL_RECORDER`` (the default everywhere) has ``enabled = False`` and
+no-op methods, so an uninstrumented run pays one attribute load per site
+and allocates nothing.  :class:`SpanRecorder` buffers events in memory;
+:mod:`repro.obs.perfetto` turns the buffer into a Chrome trace-event JSON
+file.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.obs.metrics import Registry
+
+
+class NullRecorder:
+    """Disabled recorder: one attribute check, zero allocation, no-ops.
+
+    Shared as the module-level ``NULL_RECORDER`` singleton; components take
+    it as their default so observability costs nothing until a real
+    :class:`SpanRecorder` is wired in.
+    """
+
+    enabled = False
+
+    def span(self, track: str, name: str, start_cycle: int,
+             duration_cycles: int, category: str = "",
+             args: Optional[Mapping[str, Any]] = None) -> None:
+        """Record nothing."""
+
+    def instant(self, track: str, name: str, cycle: int,
+                args: Optional[Mapping[str, Any]] = None) -> None:
+        """Record nothing."""
+
+    def sample(self, track: str, name: str, cycle: int, value: float) -> None:
+        """Record nothing."""
+
+
+NULL_RECORDER = NullRecorder()
+
+
+class SpanRecorder(NullRecorder):
+    """In-memory event buffer plus a metrics registry.
+
+    One recorder observes one run (single- or multi-core: the runner hands
+    the same recorder to every simulator, and per-core track names keep the
+    lanes apart).  Events are plain dicts in recording order; the exporter
+    sorts tracks for a stable file layout.
+    """
+
+    enabled = True
+
+    def __init__(self, registry: Optional[Registry] = None) -> None:
+        self.metrics = registry if registry is not None else Registry()
+        self._events: List[Dict[str, Any]] = []
+
+    # -- event sinks -------------------------------------------------------
+
+    def span(self, track: str, name: str, start_cycle: int,
+             duration_cycles: int, category: str = "",
+             args: Optional[Mapping[str, Any]] = None) -> None:
+        """One complete interval: ``duration_cycles`` starting at ``start_cycle``."""
+        event: Dict[str, Any] = {
+            "type": "span", "track": track, "name": name,
+            "start": start_cycle, "dur": duration_cycles, "cat": category,
+        }
+        if args:
+            event["args"] = dict(args)
+        self._events.append(event)
+
+    def instant(self, track: str, name: str, cycle: int,
+                args: Optional[Mapping[str, Any]] = None) -> None:
+        """A zero-duration marker (a decision, a state transition)."""
+        event: Dict[str, Any] = {
+            "type": "instant", "track": track, "name": name, "start": cycle,
+        }
+        if args:
+            event["args"] = dict(args)
+        self._events.append(event)
+
+    def sample(self, track: str, name: str, cycle: int, value: float) -> None:
+        """One point of a counter series (rendered as a graph track)."""
+        self._events.append({
+            "type": "sample", "track": track, "name": name,
+            "start": cycle, "value": value,
+        })
+
+    # -- inspection --------------------------------------------------------
+
+    def events(self) -> Tuple[Dict[str, Any], ...]:
+        """Everything recorded so far, in recording order."""
+        return tuple(self._events)
+
+    def tracks(self) -> Tuple[str, ...]:
+        """Distinct track names, sorted (the exporter's lane order)."""
+        return tuple(sorted({event["track"] for event in self._events}))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def clear(self) -> None:
+        """Drop buffered events (measured-region resets keep the registry)."""
+        self._events.clear()

@@ -7,10 +7,11 @@ from repro.sim.runner import (
     run_workload,
     static_offchip_latency_cycles,
 )
-from repro.sim.simulator import Simulator
+from repro.sim.simulator import GatingTraceEvent, Simulator
 
 __all__ = [
     "ComparisonResult",
+    "GatingTraceEvent",
     "MulticoreResult",
     "SimulationResult",
     "run_multicore",

@@ -16,6 +16,7 @@ from repro.core.token import TokenArbiter
 from repro.cpu.multicore import MultiCoreScheduler
 from repro.errors import ConfigError
 from repro.memory.dram import Dram
+from repro.obs.spans import NullRecorder
 from repro.sim.results import MulticoreResult, SimulationResult
 from repro.sim.simulator import Simulator, static_offchip_latency_cycles
 from repro.workloads.synthetic import generate_trace
@@ -39,18 +40,22 @@ def with_policy(config: SystemConfig, policy: str, **gating_overrides: object) -
 
 def run_workload(config: SystemConfig, profile_name: str, num_ops: int,
                  seed: int = 1, temperature_c: Optional[float] = None,
-                 warmup_ops: int = 0) -> SimulationResult:
+                 warmup_ops: int = 0,
+                 recorder: Optional[NullRecorder] = None) -> SimulationResult:
     """Generate a trace for ``profile_name`` and run it through ``config``.
 
     ``warmup_ops`` extra ops are replayed first and excluded from every
     metric (caches, row buffers, and predictors stay warm into the
-    measured region).
+    measured region).  ``recorder`` (a :class:`repro.obs.SpanRecorder`)
+    captures the cycle-timestamped timeline for Perfetto export; the
+    default records nothing and costs nothing.
     """
     from repro.workloads.synthetic import SyntheticTraceGenerator
     from repro.workloads.profiles import get_profile
 
     kwargs = {} if temperature_c is None else {"temperature_c": temperature_c}
-    simulator = Simulator(config, workload=profile_name, seed=seed, **kwargs)
+    simulator = Simulator(config, workload=profile_name, seed=seed,
+                          recorder=recorder, **kwargs)
     generator = SyntheticTraceGenerator(get_profile(profile_name), seed=seed)
     if warmup_ops:
         simulator.warm_up(list(generator.operations(warmup_ops)))
@@ -139,7 +144,8 @@ class SeedStudy:
 
 def run_multicore(config: SystemConfig, profile_names: Sequence[str],
                   num_ops: int, seed: int = 1,
-                  per_core_configs: Optional[Sequence[SystemConfig]] = None
+                  per_core_configs: Optional[Sequence[SystemConfig]] = None,
+                  recorder: Optional[NullRecorder] = None
                   ) -> MulticoreResult:
     """Run one multiprogrammed mix (one profile per core) to completion.
 
@@ -152,6 +158,11 @@ def run_multicore(config: SystemConfig, profile_names: Sequence[str],
     side, while the shared resources — the DRAM and the token arbiter —
     always come from the top-level ``config`` (they are one physical
     device, so per-core DRAM or token settings would be contradictory).
+
+    One ``recorder`` observes all cores: each simulator records onto its
+    own ``coreN``/``coreN/gating``/``coreN/controller`` tracks, so the
+    exported Perfetto trace shows one lane group per core plus the shared
+    DRAM lane.
     """
     if len(profile_names) != config.num_cores:
         raise ConfigError(
@@ -173,7 +184,8 @@ def run_multicore(config: SystemConfig, profile_names: Sequence[str],
                        if per_core_configs is not None else config)
         simulators.append(Simulator(
             core_config, workload=profile_name, shared_dram=shared_dram,
-            token_arbiter=arbiter, core_id=core_id, seed=seed + core_id))
+            token_arbiter=arbiter, core_id=core_id, seed=seed + core_id,
+            recorder=recorder))
         traces.append(generate_trace(profile_name, num_ops, seed=seed + core_id))
 
     scheduler = MultiCoreScheduler([simulator.core for simulator in simulators])

@@ -30,6 +30,7 @@ from repro.cpu.window import make_core
 from repro.errors import SimulationError
 from repro.memory.dram import Dram
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.obs.spans import NULL_RECORDER, NullRecorder
 from repro.power.gating import SleepTransistorNetwork
 from repro.power.model import CorePowerModel, PowerState
 from repro.power.technology import get_technology
@@ -48,8 +49,12 @@ from typing import Tuple
 class GatingTraceEvent:
     """One off-chip stall as the gating controller handled it.
 
-    Recorded when the simulator is built with ``record_timeline=True``;
-    the timeline example renders these as a text Gantt chart.
+    The single per-stall instrumentation record, consumed by two sinks:
+    with ``record_timeline=True`` the simulator keeps them on
+    ``Simulator.timeline`` (the timeline example renders these as a text
+    Gantt chart), and with a :class:`repro.obs.SpanRecorder` attached each
+    event is rendered into cycle-timestamped spans on the per-core trace
+    tracks (``coreN`` and ``coreN/gating``) for Perfetto export.
     """
 
     start_cycle: int
@@ -87,15 +92,18 @@ class Simulator:
                  shared_dram: Optional[Dram] = None,
                  token_arbiter: Optional[TokenArbiter] = None,
                  core_id: int = 0, seed: int = 0,
-                 record_timeline: bool = False) -> None:
+                 record_timeline: bool = False,
+                 recorder: Optional[NullRecorder] = None) -> None:
         self.config = config
         self.workload = workload
+        self.core_id = core_id
+        self._obs = recorder if recorder is not None else NULL_RECORDER
         tech = get_technology(config.technology)
 
         self.hierarchy = MemoryHierarchy(
             config.l1, config.l2, config.dram, config.core.frequency_hz,
             seed=seed, shared_dram=shared_dram,
-            prefetcher_config=config.prefetcher)
+            prefetcher_config=config.prefetcher, recorder=self._obs)
         self.core = make_core(config.core, self.hierarchy)
 
         # The circuit is characterized at the operating temperature, so the
@@ -113,7 +121,8 @@ class Simulator:
         policy = make_policy(config.gating, self.analyzer, predictor, static_estimate)
         self.controller = MapgController(
             policy, self.analyzer, self.power_model,
-            token_arbiter=token_arbiter, core_id=core_id)
+            token_arbiter=token_arbiter, core_id=core_id,
+            recorder=self._obs)
 
         self.ledger = EnergyLedger(self.power_model)
         self.stall_histogram = Histogram.exponential(
@@ -124,6 +133,25 @@ class Simulator:
         self._finished = False
         self._record_timeline = record_timeline
         self.timeline: list = []  # GatingTraceEvent when recording is on
+        # Per-core track names and pre-bound metric instruments, so the
+        # instrumented hot path pays one `enabled` check and no registry
+        # lookups (see docs/OBSERVABILITY.md for the span taxonomy).
+        self._track_core = f"core{core_id}"
+        self._track_gating = f"core{core_id}/gating"
+        if self._obs.enabled:
+            metrics = self._obs.metrics
+            self._m_segments = metrics.counter(
+                "sim.segments", help="segments processed")
+            self._m_busy = metrics.counter(
+                "sim.busy_cycles", help="cycles retiring instructions")
+            self._m_onchip = metrics.counter(
+                "sim.onchip_stall_cycles", help="on-chip (L2-hit) stall cycles")
+            self._m_offchip = metrics.counter(
+                "sim.offchip_stalls", help="off-chip stalls seen")
+            self._m_gated = metrics.counter(
+                "sim.gated_stalls", help="off-chip stalls the controller gated")
+            self._m_penalty = metrics.counter(
+                "sim.penalty_cycles", help="wakeup-overrun penalty cycles")
 
     @property
     def cycle(self) -> int:
@@ -140,6 +168,11 @@ class Simulator:
         """
         if isinstance(segment, BusySegment):
             self.ledger.add_interval(PowerState.ACTIVE, segment.cycles)
+            if self._obs.enabled:
+                self._m_segments.inc()
+                self._m_busy.inc(segment.cycles)
+                self._obs.span(self._track_core, "busy", self._cycle,
+                               segment.cycles, category="cpu")
             self._cycle += segment.cycles
             return 0
         if not isinstance(segment, StallSegment):
@@ -147,6 +180,11 @@ class Simulator:
 
         if not segment.off_chip:
             self.ledger.add_interval(PowerState.STALL, segment.cycles)
+            if self._obs.enabled:
+                self._m_segments.inc()
+                self._m_onchip.inc(segment.cycles)
+                self._obs.span(self._track_core, "stall.onchip", self._cycle,
+                               segment.cycles, category="mem")
             self._cycle += segment.cycles
             return 0
 
@@ -156,8 +194,8 @@ class Simulator:
             actual_stall_cycles=segment.cycles, start_cycle=self._cycle,
             kind=segment.dram_kind or "",
             elapsed_cycles=segment.elapsed_cycles)
-        if self._record_timeline:
-            self.timeline.append(GatingTraceEvent(
+        if self._record_timeline or self._obs.enabled:
+            event = GatingTraceEvent(
                 start_cycle=self._cycle,
                 stall_cycles=segment.cycles,
                 pc=segment.pc,
@@ -170,7 +208,11 @@ class Simulator:
                 penalty_cycles=outcome.penalty_cycles,
                 intervals=tuple((state.value, cycles)
                                 for state, cycles in outcome.intervals),
-            ))
+            )
+            if self._record_timeline:
+                self.timeline.append(event)
+            if self._obs.enabled:
+                self._observe_stall(event)
         for state, cycles in outcome.intervals:
             self.ledger.add_interval(state, cycles)
         if outcome.event_energy_j > 0.0:
@@ -179,6 +221,30 @@ class Simulator:
         if outcome.penalty_cycles:
             self.core.add_delay(outcome.penalty_cycles)
         return outcome.penalty_cycles
+
+    def _observe_stall(self, event: GatingTraceEvent) -> None:
+        """Render one :class:`GatingTraceEvent` into spans and metrics."""
+        self._m_segments.inc()
+        self._m_offchip.inc()
+        if event.gated and not event.aborted:
+            self._m_gated.inc()
+        if event.penalty_cycles:
+            self._m_penalty.inc(event.penalty_cycles)
+        total = sum(cycles for __, cycles in event.intervals)
+        self._obs.span(
+            self._track_core, "stall.offchip", event.start_cycle, total,
+            category="gating",
+            args={"pc": f"0x{event.pc:x}", "dram_kind": event.dram_kind,
+                  "gated": event.gated, "aborted": event.aborted,
+                  "mode": event.mode, "reason": event.reason,
+                  "predicted_cycles": event.predicted_cycles,
+                  "penalty_cycles": event.penalty_cycles})
+        cursor = event.start_cycle
+        for state, cycles in event.intervals:
+            if cycles:
+                self._obs.span(self._track_gating, state, cursor, cycles,
+                               category="gating")
+            cursor += cycles
 
     # ---- whole-trace run --------------------------------------------------------
 
@@ -210,6 +276,12 @@ class Simulator:
         self.stall_histogram = Histogram.exponential(
             low=4.0, factor=1.5, buckets=20, keep_samples=False)
         self.timeline = []
+        # Warm-up spans would pollute the exported trace; drop them.  The
+        # obs *metric* instruments are registry-lifetime and keep counting
+        # (they describe the recorder's whole observation, not the
+        # measured region — SimulationResult owns the measured metrics).
+        if self._obs.enabled:
+            self._obs.clear()
         # Memory-side counters restart too (tag/row state is untouched).
         self.hierarchy.counters = CounterSet()
         self.hierarchy.l1.counters = CounterSet()

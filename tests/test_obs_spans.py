@@ -1,0 +1,131 @@
+"""Tests for span recording and the Perfetto trace-event export."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_RECORDER,
+    NullRecorder,
+    SpanRecorder,
+    artifact_paths,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+
+class TestNullRecorder:
+    def test_disabled_and_silent(self):
+        assert NULL_RECORDER.enabled is False
+        # All sinks are no-ops and return nothing.
+        assert NULL_RECORDER.span("t", "n", 0, 10) is None
+        assert NULL_RECORDER.instant("t", "n", 0) is None
+        assert NULL_RECORDER.sample("t", "n", 0, 1.0) is None
+
+    def test_span_recorder_is_a_null_recorder(self):
+        # Components annotate the parameter as NullRecorder; the enabled
+        # subclass must substitute cleanly.
+        assert isinstance(SpanRecorder(), NullRecorder)
+        assert SpanRecorder().enabled is True
+
+
+class TestSpanRecorder:
+    def test_buffers_in_recording_order(self):
+        rec = SpanRecorder()
+        rec.span("core0", "busy", 0, 100, category="cpu")
+        rec.instant("core0/controller", "gate.full", 100,
+                    args={"reason": "predicted"})
+        rec.sample("dram", "queue", 120, 3)
+        events = rec.events()
+        assert [event["type"] for event in events] == \
+            ["span", "instant", "sample"]
+        assert events[0]["dur"] == 100
+        assert events[1]["args"] == {"reason": "predicted"}
+        assert events[2]["value"] == 3
+        assert len(rec) == 3
+
+    def test_tracks_sorted(self):
+        rec = SpanRecorder()
+        rec.span("zeta", "a", 0, 1)
+        rec.span("alpha", "b", 0, 1)
+        assert rec.tracks() == ("alpha", "zeta")
+
+    def test_clear_keeps_registry(self):
+        rec = SpanRecorder()
+        rec.metrics.counter("kept").inc()
+        rec.span("t", "n", 0, 1)
+        rec.clear()
+        assert len(rec) == 0
+        assert rec.metrics.counter("kept").value == 1
+
+
+class TestChromeTrace:
+    def _recorder(self):
+        rec = SpanRecorder()
+        rec.span("core0", "stall.offchip", 10, 200, category="gating",
+                 args={"gated": True})
+        rec.span("core0/gating", "sleep", 40, 150, category="gating")
+        rec.instant("core0/controller", "gate.full", 10)
+        rec.sample("dram", "inflight", 12, 2)
+        return rec
+
+    def test_export_validates(self):
+        payload = to_chrome_trace(self._recorder())
+        assert validate_chrome_trace(payload) == []
+
+    def test_one_named_thread_per_track(self):
+        payload = to_chrome_trace(self._recorder())
+        names = {event["args"]["name"]
+                 for event in payload["traceEvents"]
+                 if event["ph"] == "M" and event["name"] == "thread_name"}
+        assert names == {"core0", "core0/gating", "core0/controller", "dram"}
+
+    def test_timestamps_are_cycles(self):
+        payload = to_chrome_trace(self._recorder())
+        span = next(event for event in payload["traceEvents"]
+                    if event.get("name") == "stall.offchip")
+        assert (span["ts"], span["dur"]) == (10, 200)
+        assert payload["otherData"]["timeUnit"] == "cycles"
+
+    def test_manifest_rides_in_other_data(self):
+        payload = to_chrome_trace(self._recorder(),
+                                  manifest={"seed": 7, "workload": "mcf_like"})
+        assert payload["otherData"]["manifest"]["seed"] == 7
+
+    def test_write_roundtrip(self, tmp_path):
+        path = tmp_path / "run.json"
+        count = write_chrome_trace(self._recorder(), path)
+        loaded = json.loads(path.read_text(encoding="utf-8"))
+        assert len(loaded["traceEvents"]) == count
+        assert validate_chrome_trace(loaded) == []
+
+    def test_validator_catches_problems(self):
+        assert validate_chrome_trace({}) != []
+        assert validate_chrome_trace({"traceEvents": []}) != []
+        # A complete event without dur and an unnamed tid.
+        bad = {"traceEvents": [
+            {"name": "x", "ph": "X", "ts": 0, "pid": 0, "tid": 9},
+        ]}
+        problems = validate_chrome_trace(bad)
+        assert any("dur" in problem for problem in problems)
+        assert any("never named" in problem for problem in problems)
+
+    def test_unknown_event_type_rejected(self):
+        rec = SpanRecorder()
+        rec._events.append({"type": "mystery", "track": "t", "name": "n",
+                            "start": 0})
+        with pytest.raises(Exception):
+            to_chrome_trace(rec)
+
+
+class TestArtifactPaths:
+    def test_sibling_names(self, tmp_path):
+        trace, manifest, metrics = artifact_paths(tmp_path / "run.json")
+        assert trace.name == "run.json"
+        assert manifest.name == "run.manifest.json"
+        assert metrics.name == "run.metrics.jsonl"
+
+    def test_non_json_suffix(self, tmp_path):
+        trace, manifest, metrics = artifact_paths(tmp_path / "trace")
+        assert manifest.name == "trace.manifest.json"
