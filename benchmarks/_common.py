@@ -17,6 +17,7 @@ of pure Python; the shapes are stable well below these lengths.
 from __future__ import annotations
 
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -27,6 +28,39 @@ from repro.obs import SelfProfiler, environment_manifest
 FULL_OPS = 30_000
 SWEEP_OPS = 15_000
 MULTICORE_OPS = 6_000
+
+# Execution-engine knobs.  The sweep benches route through
+# repro.exec.SweepRunner; both knobs default to the plain serial,
+# uncached path so a stock `pytest benchmarks/` still measures the
+# simulator, not the cache.
+#
+# * MAPG_BENCH_JOBS=N   — fan cache-missing cells over N worker processes.
+# * MAPG_BENCH_CACHE=1  — reuse results across runs via the default
+#   content-addressed cache dir; any other non-empty value is used as the
+#   cache directory itself.
+SWEEP_JOBS = int(os.environ.get("MAPG_BENCH_JOBS", "1"))
+
+
+def sweep_cache():
+    """The shared ResultCache requested via MAPG_BENCH_CACHE, or None."""
+    setting = os.environ.get("MAPG_BENCH_CACHE", "")
+    if not setting:
+        return None
+    from repro.exec import DEFAULT_CACHE_DIR, ResultCache
+
+    return ResultCache(DEFAULT_CACHE_DIR if setting == "1" else setting)
+
+
+def run_sweep(specs):
+    """Run a list of JobSpecs through one SweepRunner wired to the knobs.
+
+    For benches that sweep hand-built configs (F3/F4) rather than going
+    through ``run_policy_comparison``; the shared runner means every cell
+    of one workload reuses a single generated trace.
+    """
+    from repro.exec import SweepRunner
+
+    return SweepRunner(jobs=SWEEP_JOBS, cache=sweep_cache()).run(specs)
 
 RESULTS_DIR = Path(__file__).parent / "results"
 

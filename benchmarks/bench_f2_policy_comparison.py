@@ -7,7 +7,7 @@ workloads but pays a large wake-latency penalty; MAPG keeps the savings at
 a small fraction of naive's penalty; oracle bounds both.
 """
 
-from _common import FULL_OPS, emit, run_once
+from _common import FULL_OPS, SWEEP_JOBS, emit, run_once, sweep_cache
 
 from repro.analysis.energy import summarize_comparisons
 from repro.analysis.report import ExperimentReport
@@ -21,7 +21,8 @@ POLICIES = ["never", "naive", "bet_guard", "mapg", "oracle"]
 
 def build_report() -> ExperimentReport:
     matrix = run_policy_comparison(
-        SystemConfig(), profile_names(), POLICIES, FULL_OPS, seed=11)
+        SystemConfig(), profile_names(), POLICIES, FULL_OPS, seed=11,
+        jobs=SWEEP_JOBS, cache=sweep_cache())
     comparisons = summarize_comparisons(matrix)
     report = ExperimentReport(
         "F2", "Energy saving / performance penalty vs never-gate baseline",

@@ -6,12 +6,13 @@ BET grows (fewer stalls clear the threshold), collapsing toward zero once
 BET exceeds the typical stall length; the gate rate falls monotonically.
 """
 
-from _common import SWEEP_OPS, emit, run_once
+from _common import SWEEP_OPS, emit, run_once, run_sweep
 
 from repro.analysis.report import ExperimentReport
 from repro.analysis.tables import format_fraction_pct
 from repro.config import SystemConfig
-from repro.sim.runner import run_workload, with_policy
+from repro.exec import JobSpec
+from repro.sim.runner import with_policy
 
 SCALES = (0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0)
 WORKLOADS = ("mcf_like", "gcc_like")
@@ -24,11 +25,13 @@ def build_report() -> ExperimentReport:
         headers=["workload", "BET scale", "BET (cyc)", "gate rate",
                  "energy saving", "perf penalty"])
     for workload in WORKLOADS:
-        baseline = run_workload(with_policy(config, "never"),
-                                workload, SWEEP_OPS, seed=11)
-        for scale in SCALES:
-            variant = with_policy(config, "mapg", bet_scale=scale)
-            result = run_workload(variant, workload, SWEEP_OPS, seed=11)
+        specs = [JobSpec(config=with_policy(config, "never"),
+                         profile=workload, num_ops=SWEEP_OPS, seed=11)]
+        specs += [JobSpec(config=with_policy(config, "mapg", bet_scale=scale),
+                          profile=workload, num_ops=SWEEP_OPS, seed=11)
+                  for scale in SCALES]
+        baseline, *variants = run_sweep(specs)
+        for scale, result in zip(SCALES, variants):
             delta = result.compare(baseline)
             gate_rate = (result.gated_stalls / result.offchip_stalls
                          if result.offchip_stalls else 0.0)

@@ -6,12 +6,13 @@ longer stalls, hence more sleep per event and higher savings; penalties
 stay flat because early wakeup still hides the (unchanged) wake latency.
 """
 
-from _common import SWEEP_OPS, emit, run_once
+from _common import SWEEP_OPS, emit, run_once, run_sweep
 
 from repro.analysis.report import ExperimentReport
 from repro.analysis.tables import format_fraction_pct
 from repro.config import SystemConfig
-from repro.sim.runner import run_workload, with_policy
+from repro.exec import JobSpec
+from repro.sim.runner import with_policy
 
 SCALES = (0.5, 0.75, 1.0, 1.5, 2.0, 3.0)
 WORKLOADS = ("mcf_like", "gcc_like")
@@ -24,12 +25,17 @@ def build_report() -> ExperimentReport:
         headers=["workload", "latency scale", "mean stall (cyc)",
                  "energy saving", "perf penalty", "sleep time"])
     for workload in WORKLOADS:
+        specs = []
         for scale in SCALES:
             config = base.replace(dram=base.dram.scaled(scale))
-            never = run_workload(with_policy(config, "never"),
-                                 workload, SWEEP_OPS, seed=11)
-            mapg = run_workload(with_policy(config, "mapg"),
-                                workload, SWEEP_OPS, seed=11)
+            specs.append(JobSpec(config=with_policy(config, "never"),
+                                 profile=workload, num_ops=SWEEP_OPS, seed=11))
+            specs.append(JobSpec(config=with_policy(config, "mapg"),
+                                 profile=workload, num_ops=SWEEP_OPS, seed=11))
+        results = run_sweep(specs)
+        for index, scale in enumerate(SCALES):
+            never = results[2 * index]
+            mapg = results[2 * index + 1]
             delta = mapg.compare(never)
             mean_stall = (never.controller_counters.get("offchip_stall_cycles", 0)
                           / max(1, never.offchip_stalls))

@@ -6,7 +6,7 @@ magnitude lower penalty than naive; its geometric-mean EDP ratio is the
 best of the realizable policies.
 """
 
-from _common import FULL_OPS, emit, run_once
+from _common import FULL_OPS, SWEEP_JOBS, emit, run_once, sweep_cache
 
 from repro.analysis.energy import (
     geomean_edp_ratio,
@@ -25,7 +25,8 @@ POLICIES = ["never", "naive", "bet_guard", "mapg", "oracle"]
 
 def build_report() -> ExperimentReport:
     matrix = run_policy_comparison(
-        SystemConfig(), profile_names(), POLICIES, FULL_OPS, seed=11)
+        SystemConfig(), profile_names(), POLICIES, FULL_OPS, seed=11,
+        jobs=SWEEP_JOBS, cache=sweep_cache())
     comparisons = summarize_comparisons(matrix)
     report = ExperimentReport(
         "T3", "Summary over all workloads (vs never-gate baseline)",

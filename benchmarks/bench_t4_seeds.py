@@ -10,7 +10,7 @@ Shape claims: the coefficient of variation of the energy saving is small
 penalty stays under 1 %.
 """
 
-from _common import SWEEP_OPS, emit, run_once
+from _common import SWEEP_OPS, SWEEP_JOBS, emit, run_once, sweep_cache
 
 from repro.analysis.report import ExperimentReport
 from repro.analysis.tables import format_fraction_pct
@@ -23,12 +23,14 @@ WORKLOADS = ("mcf_like", "libquantum_like", "gcc_like", "povray_like")
 
 def build_report() -> ExperimentReport:
     config = with_policy(SystemConfig(), "mapg")
+    cache = sweep_cache()
     report = ExperimentReport(
         "T4", f"MAPG across {len(SEEDS)} trace seeds (mean +/- std)",
         headers=["workload", "saving mean", "saving std", "penalty mean",
                  "penalty std", "saving CV"])
     for workload in WORKLOADS:
-        study = run_seed_study(config, workload, SWEEP_OPS, SEEDS)
+        study = run_seed_study(config, workload, SWEEP_OPS, SEEDS,
+                               jobs=SWEEP_JOBS, cache=cache)
         cv = study.std_saving / max(1e-12, study.mean_saving)
         report.add_row(
             workload,

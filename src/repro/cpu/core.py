@@ -99,14 +99,26 @@ class Core:
         self._cycle += cycles
 
     def segments(self, ops: Iterable[TraceOp]) -> Iterator[Segment]:
-        """Replay ``ops``, yielding busy/stall segments in program order."""
+        """Replay ``ops``, yielding busy/stall segments in program order.
+
+        Loop invariants (issue width, L1 hit latency, the hierarchy and
+        counter objects) are hoisted into locals — this loop runs once per
+        trace op.  ``self._cycle`` stays an attribute access on purpose:
+        the consumer calls :meth:`add_delay` *between* yields, so a local
+        copy would go stale mid-replay.
+        """
         pending_busy = 0
+        issue_width = self.config.issue_width
+        hierarchy = self.hierarchy
+        l1_latency = hierarchy.l1.config.hit_latency_cycles
+        counters_add = self.counters.add
+        ceil = math.ceil
         for op in ops:
             if isinstance(op, ComputeBlock):
-                cycles = math.ceil(op.instructions / self.config.issue_width)
+                cycles = ceil(op.instructions / issue_width)
                 pending_busy += cycles
                 self._cycle += cycles
-                self.counters.add("instructions", op.instructions)
+                counters_add("instructions", op.instructions)
                 continue
             if not isinstance(op, MemoryAccess):
                 raise SimulationError(f"unknown trace op {type(op).__name__}")
@@ -114,12 +126,11 @@ class Core:
             # The access issues after the accumulated busy run plus one cycle.
             pending_busy += 1
             self._cycle += 1
-            self.counters.add("instructions")
-            self.counters.add("memory_ops")
+            counters_add("instructions")
+            counters_add("memory_ops")
 
-            result = self.hierarchy.access(op.address, self._cycle, op.is_write,
-                                           pc=op.pc)
-            l1_latency = self.hierarchy.l1.config.hit_latency_cycles
+            result = hierarchy.access(op.address, self._cycle, op.is_write,
+                                      pc=op.pc)
 
             if result.level == "l1" and not result.merged:
                 # Pipelined L1 hit: no visible stall.
@@ -131,11 +142,11 @@ class Core:
 
             if result.off_chip:
                 stall_cycles = self._apply_mlp(stall_cycles)
-                self.counters.add("offchip_stalls")
-                self.counters.add("offchip_stall_cycles", stall_cycles)
+                counters_add("offchip_stalls")
+                counters_add("offchip_stall_cycles", stall_cycles)
             else:
-                self.counters.add("onchip_stalls")
-                self.counters.add("onchip_stall_cycles", stall_cycles)
+                counters_add("onchip_stalls")
+                counters_add("onchip_stall_cycles", stall_cycles)
 
             if pending_busy:
                 yield BusySegment(pending_busy)

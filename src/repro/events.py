@@ -87,11 +87,19 @@ class EventQueue:
         return self._heap[0][0]
 
     def step(self) -> bool:
-        """Run the next pending event.  Returns False if none remain."""
-        self._drop_cancelled()
-        if not self._heap:
+        """Run the next pending event.  Returns False if none remain.
+
+        The heap reference and ``heappop`` are hoisted into locals: this
+        is the kernel's innermost function, and repeated ``self._heap``
+        attribute loads are pure overhead on every event.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        while heap and heap[0][2].cancelled:
+            pop(heap)
+        if not heap:
             return False
-        time, __, entry = heapq.heappop(self._heap)
+        time, __, entry = pop(heap)
         self._now = time
         if self._obs.enabled:
             self._m_executed.inc()
@@ -117,7 +125,8 @@ class EventQueue:
         self-rescheduling event loop is always a model bug here.
         """
         executed = 0
-        while self.step():
+        step = self.step
+        while step():
             executed += 1
             if executed > max_events:
                 raise SimulationError(f"event loop exceeded {max_events} events")

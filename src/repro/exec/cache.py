@@ -1,0 +1,123 @@
+"""Content-addressed result cache for simulation cells.
+
+Finished :class:`~repro.sim.results.SimulationResult`\\ s land under
+``.mapg-result-cache/`` keyed by::
+
+    sha256(simulation_version || job-spec key)
+
+where ``simulation_version`` hashes the source of the whole simulation
+package (:mod:`repro.exec.version`) — editing any model file orphans every
+entry at once — and the job-spec key already covers the full config
+digest, profile, seed, op counts, and temperature.  A hit therefore
+*cannot* go stale: anything that could change the result changes the key.
+
+Entries are JSON (stable, inspectable, no unpickling of foreign bytes);
+floats round-trip exactly through ``repr`` so a cached result is
+field-for-field equal to a fresh run.  Writes are atomic (temp file +
+``os.replace``) so concurrent sweeps can share a directory, and the cache
+directory gitignores itself the way pytest's does.  Corrupt or unreadable
+entries count as misses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from typing import Any, Dict, Optional
+
+from repro.exec.jobspec import JobSpec
+from repro.exec.version import RESULT_SCHEMA, simulation_version
+from repro.sim.results import SimulationResult
+
+DEFAULT_CACHE_DIR = ".mapg-result-cache"
+
+
+def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
+    """A ``SimulationResult`` as a JSON-ready plain dict."""
+    return dataclasses.asdict(result)
+
+
+def result_from_dict(data: Dict[str, Any]) -> SimulationResult:
+    """Rebuild a ``SimulationResult``; validation reruns in __post_init__."""
+    field_names = {f.name for f in dataclasses.fields(SimulationResult)}
+    unknown = sorted(set(data) - field_names)
+    if unknown:
+        raise ValueError(f"unknown SimulationResult fields: {unknown}")
+    return SimulationResult(**data)
+
+
+class ResultCache:
+    """Content-addressed store of serialized simulation results."""
+
+    def __init__(self, cache_dir: str = DEFAULT_CACHE_DIR) -> None:
+        self.cache_dir = cache_dir
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, spec: JobSpec) -> str:
+        """Full cache address of one cell: sha256(code digest ; spec digest).
+
+        Re-hashing the pair keeps the two-character directory fanout
+        uniform (a plain concatenation would start every key with the
+        process-constant code digest, piling all entries into one
+        subdirectory).
+        """
+        combined = f"{simulation_version()};{spec.key}"
+        return hashlib.sha256(combined.encode("utf-8")).hexdigest()
+
+    def _entry_path(self, key: str) -> str:
+        return os.path.join(self.cache_dir, key[:2], key + ".json")
+
+    def load(self, spec: JobSpec) -> Optional[SimulationResult]:
+        """The cached result for ``spec``, or ``None`` on any miss."""
+        try:
+            with open(self._entry_path(self.key(spec)), "r",
+                      encoding="utf-8") as handle:
+                entry = json.load(handle)
+            if entry.get("schema") != RESULT_SCHEMA:
+                raise ValueError("stale cache schema")
+            result = result_from_dict(entry["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, spec: JobSpec, result: SimulationResult) -> None:
+        """Atomically persist one result; I/O failures are ignored."""
+        entry_path = self._entry_path(self.key(spec))
+        tmp_path = f"{entry_path}.{os.getpid()}.tmp"
+        payload = {
+            "schema": RESULT_SCHEMA,
+            "spec": spec.canonical(),
+            "result": result_to_dict(result),
+        }
+        try:
+            self._ensure_dir(os.path.dirname(entry_path))
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True,
+                          separators=(",", ":"))
+            os.replace(tmp_path, entry_path)
+        except OSError:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+
+    def _ensure_dir(self, directory: str) -> None:
+        os.makedirs(directory, exist_ok=True)
+        # Keep the cache out of version control even when the repo's own
+        # .gitignore doesn't mention it (same trick pytest uses).
+        marker = os.path.join(self.cache_dir, ".gitignore")
+        if not os.path.exists(marker):
+            try:
+                with open(marker, "w", encoding="utf-8") as handle:
+                    handle.write("*\n")
+            except OSError:
+                pass
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss counters of this cache instance's lifetime."""
+        return {"hits": self.hits, "misses": self.misses}

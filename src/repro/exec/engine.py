@@ -1,0 +1,113 @@
+"""The parallel sweep runner: cache, fan out, merge deterministically.
+
+``SweepRunner.run`` takes a sequence of :class:`~repro.exec.jobspec.JobSpec`
+cells and returns their results **in input order**, built in three steps:
+
+1. **Cache probe** — every distinct spec is looked up in the
+   :class:`~repro.exec.cache.ResultCache` (when one is attached); hits
+   skip simulation entirely.
+2. **Execution** — cache misses run either inline (``jobs=1``, sharing
+   one :class:`~repro.exec.tracestore.TraceStore` so identical traces are
+   generated once per process) or over a spawn-safe ``multiprocessing``
+   pool.  Workers receive plain-dict payloads (no pickled code objects),
+   rebuild the spec, and keep a module-level trace store of their own, so
+   a worker simulating several policies of one workload also generates
+   its trace once.
+3. **Deterministic merge** — results are keyed by the spec's sha256 job
+   key and emitted in the caller's spec order, so sweep output is
+   byte-identical at any worker count and any completion order.
+
+Nothing here reads the wall clock or draws randomness: scheduling order
+cannot leak into results because every cell is hermetic by construction.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.exec.cache import ResultCache, result_from_dict, result_to_dict
+from repro.exec.jobspec import JobSpec
+from repro.exec.tracestore import TraceStore
+from repro.sim.results import SimulationResult
+
+# One trace store per pool worker, lazily built on the first task so the
+# parent never ships trace data across the process boundary.
+_WORKER_STORE: Optional[TraceStore] = None
+
+
+def _execute_payload(item: "Tuple[str, Dict[str, Any]]"
+                     ) -> "Tuple[str, Dict[str, Any]]":
+    """Pool worker: rebuild one spec, simulate it, return (key, result).
+
+    Module-level (not a closure) so it pickles under the ``spawn`` start
+    method; the result travels back as a plain dict for the same reason.
+    """
+    global _WORKER_STORE
+    if _WORKER_STORE is None:
+        _WORKER_STORE = TraceStore()
+    key, payload = item
+    result = JobSpec.from_payload(payload).execute(trace_store=_WORKER_STORE)
+    return key, result_to_dict(result)
+
+
+class SweepRunner:
+    """Run many simulation cells: cached, parallel, deterministic."""
+
+    def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None,
+                 mp_start_method: str = "spawn",
+                 trace_store: Optional[TraceStore] = None) -> None:
+        if jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+        self.mp_start_method = mp_start_method
+        self.trace_store = trace_store if trace_store is not None else TraceStore()
+        self.executed = 0
+        self.cache_hits = 0
+
+    def run(self, specs: Sequence[JobSpec]) -> List[SimulationResult]:
+        """Results for ``specs``, in input order; duplicates run once."""
+        unique: "OrderedDict[str, JobSpec]" = OrderedDict()
+        for spec in specs:
+            unique.setdefault(spec.key, spec)
+
+        results: Dict[str, SimulationResult] = {}
+        if self.cache is not None:
+            for key, spec in unique.items():
+                cached = self.cache.load(spec)
+                if cached is not None:
+                    results[key] = cached
+        self.cache_hits += len(results)
+
+        # Deterministic dispatch order: cells sharing a trace first (so the
+        # serial path's LRU trace store never thrashes), content key last —
+        # the work list is identical however the caller ordered the sweep.
+        missing = sorted(
+            ((key, spec) for key, spec in unique.items()
+             if key not in results),
+            key=lambda item: (item[1].profile, item[1].seed,
+                              item[1].warmup_ops, item[1].num_ops, item[0]))
+        if self.jobs > 1 and len(missing) > 1:
+            payloads = [(key, spec.to_payload()) for key, spec in missing]
+            context = multiprocessing.get_context(self.mp_start_method)
+            workers = min(self.jobs, len(payloads))
+            with context.Pool(processes=workers) as pool:
+                for key, result_dict in pool.imap_unordered(
+                        _execute_payload, payloads, chunksize=1):
+                    results[key] = result_from_dict(result_dict)
+        else:
+            for key, spec in missing:
+                results[key] = spec.execute(trace_store=self.trace_store)
+        self.executed += len(missing)
+
+        if self.cache is not None:
+            for key, spec in missing:
+                self.cache.store(spec, results[key])
+        return [results[spec.key] for spec in specs]
+
+    def stats(self) -> Dict[str, int]:
+        """Lifetime counters: cells executed vs served from the cache."""
+        return {"executed": self.executed, "cache_hits": self.cache_hits}

@@ -1,0 +1,65 @@
+"""Per-process memoization of generated traces.
+
+``run_policy_comparison`` replays the *identical* trace once per policy —
+before this store it also regenerated it once per policy, which made trace
+generation scale with the policy count instead of the workload count.  The
+store generates each ``(profile, seed, warmup_ops, num_ops)`` trace
+exactly once per process and serves immutable tuples thereafter; pool
+workers keep one module-level store each, so a worker that simulates five
+policies of one workload generates its trace once.
+
+Generation reproduces ``run_workload``'s two-call shape exactly — one
+generator yields the warmup ops, then *continues* into the measured ops —
+so a stored trace is op-for-op identical to the uncached path (the
+generator's phase schedule and RNG advance across the warmup/measure
+boundary, which a fresh generator per region would not reproduce).
+
+The store is bounded (LRU over whole traces) because a long sweep may
+touch many workloads; evicting simply means regenerating later.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Tuple
+
+from repro.errors import ConfigError
+from repro.trace.format import TraceOp
+from repro.workloads.profiles import get_profile
+from repro.workloads.synthetic import SyntheticTraceGenerator
+
+_TraceKey = Tuple[str, int, int, int]
+_TracePair = Tuple[Tuple[TraceOp, ...], Tuple[TraceOp, ...]]
+
+
+class TraceStore:
+    """LRU-bounded memo of ``(warmup trace, measured trace)`` tuples."""
+
+    def __init__(self, max_entries: int = 8) -> None:
+        if max_entries < 1:
+            raise ConfigError(
+                f"TraceStore needs max_entries >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[_TraceKey, _TracePair]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def traces(self, profile: str, num_ops: int, seed: int = 1,
+               warmup_ops: int = 0) -> _TracePair:
+        """The (warmup, measured) op tuples for one simulation cell."""
+        trace_key: _TraceKey = (profile, seed, warmup_ops, num_ops)
+        cached = self._entries.get(trace_key)
+        if cached is not None:
+            self.hits += 1
+            self._entries.move_to_end(trace_key)
+            return cached
+        self.misses += 1
+        generator = SyntheticTraceGenerator(get_profile(profile), seed=seed)
+        pair: _TracePair = (
+            tuple(generator.operations(warmup_ops)) if warmup_ops else (),
+            tuple(generator.operations(num_ops)),
+        )
+        self._entries[trace_key] = pair
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return pair

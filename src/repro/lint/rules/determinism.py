@@ -11,13 +11,16 @@ sources of hidden nondeterminism are flagged:
 
 2. **Wall-clock reads** (simulation code) — ``time.time()``,
    ``datetime.now()`` etc. inside ``repro/sim``, ``repro/core``,
-   ``repro/cpu``, ``repro/memory``, or ``repro/obs`` leak host time into
-   simulated time.  One module is allowlisted: ``repro/obs/profile.py``
-   *is* the self-profiling harness, whose whole job is measuring the
-   simulator's own wall time and memory — it reports about the host, never
-   into the simulation (see docs/OBSERVABILITY.md).
+   ``repro/cpu``, ``repro/memory``, ``repro/obs``, or ``repro/exec`` leak
+   host time into simulated time (for ``repro/exec`` it could leak into
+   scheduling, which must stay content-addressed).  One module is
+   allowlisted: ``repro/obs/profile.py`` *is* the self-profiling harness,
+   whose whole job is measuring the simulator's own wall time and memory
+   — it reports about the host, never into the simulation (see
+   docs/OBSERVABILITY.md).
 
-3. **Set iteration** (``repro/sim`` and ``repro/core``) — iterating a set
+3. **Set iteration** (``repro/sim``, ``repro/core``, and ``repro/exec``)
+   — iterating a set
    literal or ``set()``/``frozenset()`` call orders elements by hash;
    string hashes are randomized per process, so iteration order — and any
    tie-break it feeds — changes between runs.  Iterate a sorted sequence
@@ -59,11 +62,11 @@ _WALL_CLOCK = {
 }
 
 _SIM_PACKAGES = ("repro/sim", "repro/core", "repro/cpu", "repro/memory",
-                 "repro/obs")
+                 "repro/obs", "repro/exec")
 # Modules exempt from the wall-clock check: the self-profiler measures the
 # host on purpose and is the single blessed home for perf_counter et al.
 _WALL_CLOCK_ALLOWLIST = ("repro/obs/profile.py",)
-_SET_SCOPE = ("repro/sim", "repro/core")
+_SET_SCOPE = ("repro/sim", "repro/core", "repro/exec")
 
 
 def _attribute_base_name(node: ast.Attribute) -> Optional[str]:
@@ -88,9 +91,9 @@ def _is_numpy_random_chain(node: ast.Attribute) -> bool:
 @register_rule
 class DeterminismRule(LintRule):
     rule_id = "DET01"
-    summary = ("no global-RNG calls, no wall-clock reads in sim/obs code "
-               "(repro/obs/profile.py allowlisted), no set iteration in "
-               "repro/sim and repro/core")
+    summary = ("no global-RNG calls, no wall-clock reads in sim/obs/exec "
+               "code (repro/obs/profile.py allowlisted), no set iteration "
+               "in repro/sim, repro/core, and repro/exec")
     default_severity = Severity.ERROR
 
     def visit_Call(self, node: ast.Call) -> None:

@@ -9,7 +9,10 @@ is a thin formatter over these.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+if TYPE_CHECKING:  # circularity guard: repro.exec executes via this layer
+    from repro.exec import ResultCache, SweepRunner
 
 from repro.config import SystemConfig
 from repro.core.token import TokenArbiter
@@ -49,6 +52,9 @@ def run_workload(config: SystemConfig, profile_name: str, num_ops: int,
     measured region).  ``recorder`` (a :class:`repro.obs.SpanRecorder`)
     captures the cycle-timestamped timeline for Perfetto export; the
     default records nothing and costs nothing.
+
+    The generator **streams** into the simulator — the op trace is never
+    materialized as a list, so memory stays flat however long the run is.
     """
     from repro.workloads.synthetic import SyntheticTraceGenerator
     from repro.workloads.profiles import get_profile
@@ -58,52 +64,85 @@ def run_workload(config: SystemConfig, profile_name: str, num_ops: int,
                           recorder=recorder, **kwargs)
     generator = SyntheticTraceGenerator(get_profile(profile_name), seed=seed)
     if warmup_ops:
-        simulator.warm_up(list(generator.operations(warmup_ops)))
-    return simulator.run(list(generator.operations(num_ops)))
+        simulator.warm_up(generator.operations(warmup_ops))
+    return simulator.run(generator.operations(num_ops))
 
 
 def run_policy_comparison(config: SystemConfig, profile_names: Sequence[str],
                           policies: Sequence[str], num_ops: int,
-                          seed: int = 1) -> Dict[str, Dict[str, SimulationResult]]:
+                          seed: int = 1, jobs: int = 1,
+                          cache: "Optional[ResultCache]" = None
+                          ) -> Dict[str, Dict[str, SimulationResult]]:
     """The F2/T3 matrix: results[workload][policy].
 
     Every policy replays the *identical* trace (same profile, same seed),
-    so differences are attributable to the policy alone.
+    so differences are attributable to the policy alone — the trace is
+    generated once per (profile, seed) and replayed per policy.
+
+    Routed through :class:`repro.exec.SweepRunner`: ``jobs > 1`` fans the
+    matrix over a process pool and ``cache`` (a
+    :class:`repro.exec.ResultCache`) skips cells simulated before; the
+    returned matrix is bit-identical at any ``jobs``/cache setting.
     """
+    from repro.exec import SweepRunner
+    from repro.exec.jobspec import JobSpec
+
+    specs = [JobSpec(config=with_policy(config, policy),
+                     profile=profile_name, num_ops=num_ops, seed=seed)
+             for profile_name in profile_names for policy in policies]
+    flat = iter(_sweep_runner(jobs, cache).run(specs))
     results: Dict[str, Dict[str, SimulationResult]] = {}
     for profile_name in profile_names:
-        per_policy: Dict[str, SimulationResult] = {}
-        for policy in policies:
-            variant = with_policy(config, policy)
-            per_policy[policy] = run_workload(variant, profile_name, num_ops, seed=seed)
-        results[profile_name] = per_policy
+        results[profile_name] = {policy: next(flat) for policy in policies}
     return results
 
 
 def run_seed_study(config: SystemConfig, profile_name: str, num_ops: int,
                    seeds: Sequence[int],
-                   baseline_policy: str = "never") -> "SeedStudy":
+                   baseline_policy: str = "never", jobs: int = 1,
+                   cache: "Optional[ResultCache]" = None) -> "SeedStudy":
     """Replicate one (workload, policy) comparison across trace seeds.
 
     Every seed generates an independent trace instance of the same
     profile; the study reports the mean and population standard deviation
     of the energy saving and performance penalty vs the baseline policy —
     the error bars a reviewer asks for.
+
+    Like :func:`run_policy_comparison`, the cells run through
+    :class:`repro.exec.SweepRunner` (``jobs``/``cache`` behave the same).
     """
+    from repro.exec.jobspec import JobSpec
+
     if not seeds:
         raise ConfigError("seed study needs at least one seed")
+    specs: List[JobSpec] = []
+    for seed in seeds:
+        specs.append(JobSpec(config=with_policy(config, baseline_policy),
+                             profile=profile_name, num_ops=num_ops, seed=seed))
+        specs.append(JobSpec(config=config, profile=profile_name,
+                             num_ops=num_ops, seed=seed))
+    flat = _sweep_runner(jobs, cache).run(specs)
     savings: List[float] = []
     penalties: List[float] = []
-    for seed in seeds:
-        baseline = run_workload(with_policy(config, baseline_policy),
-                                profile_name, num_ops, seed=seed)
-        result = run_workload(config, profile_name, num_ops, seed=seed)
+    for index in range(len(seeds)):
+        baseline = flat[2 * index]
+        result = flat[2 * index + 1]
         delta = result.compare(baseline)
         savings.append(delta.energy_saving)
         penalties.append(delta.performance_penalty)
     return SeedStudy(workload=profile_name, policy=config.gating.policy,
                      seeds=tuple(seeds), savings=tuple(savings),
                      penalties=tuple(penalties))
+
+
+def _sweep_runner(jobs: int, cache: "Optional[ResultCache]") -> "SweepRunner":
+    """Build the engine behind the runner facades (import kept lazy)."""
+    from repro.exec import ResultCache, SweepRunner
+
+    if cache is not None and not isinstance(cache, ResultCache):
+        raise ConfigError(
+            f"cache must be a repro.exec.ResultCache, got {type(cache).__name__}")
+    return SweepRunner(jobs=jobs, cache=cache)
 
 
 @dataclasses.dataclass(frozen=True)

@@ -17,7 +17,7 @@ later DRAM accesses see true time.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional
 
 from repro.config import SystemConfig
 from repro.core.breakeven import BreakEvenAnalyzer
@@ -138,6 +138,12 @@ class Simulator:
         # lookups (see docs/OBSERVABILITY.md for the span taxonomy).
         self._track_core = f"core{core_id}"
         self._track_gating = f"core{core_id}/gating"
+        # Type-keyed segment dispatch (see handle_segment): subclasses are
+        # resolved and memoized on first sight by _resolve_handler.
+        self._segment_handlers: "dict[type, Callable[[Segment], int]]" = {
+            BusySegment: self._handle_busy,
+            StallSegment: self._handle_stall,
+        }
         if self._obs.enabled:
             metrics = self._obs.metrics
             self._m_segments = metrics.counter(
@@ -165,39 +171,65 @@ class Simulator:
 
         Exposed separately so the multi-core scheduler can drive several
         simulators through one global-time merge.
+
+        Dispatch is type-keyed (one dict probe on ``type(segment)``)
+        rather than an ``isinstance`` chain — this is the innermost
+        per-segment call of every simulation, and the handler table costs
+        one hash lookup regardless of segment kind.
         """
+        handler = self._segment_handlers.get(type(segment))
+        if handler is None:
+            handler = self._resolve_handler(segment)
+        return handler(segment)
+
+    def _resolve_handler(self, segment: Segment) -> "Callable[[Segment], int]":
+        """Slow path: map a segment subclass to its handler, once per type."""
         if isinstance(segment, BusySegment):
-            self.ledger.add_interval(PowerState.ACTIVE, segment.cycles)
-            if self._obs.enabled:
-                self._m_segments.inc()
-                self._m_busy.inc(segment.cycles)
-                self._obs.span(self._track_core, "busy", self._cycle,
-                               segment.cycles, category="cpu")
-            self._cycle += segment.cycles
-            return 0
-        if not isinstance(segment, StallSegment):
-            raise SimulationError(f"unknown segment type {type(segment).__name__}")
+            handler = self._handle_busy
+        elif isinstance(segment, StallSegment):
+            handler = self._handle_stall
+        else:
+            raise SimulationError(
+                f"unknown segment type {type(segment).__name__}")
+        self._segment_handlers[type(segment)] = handler
+        return handler
 
+    def _handle_busy(self, segment: BusySegment) -> int:
+        """ACTIVE cycles: charge and advance; never a penalty."""
+        cycles = segment.cycles
+        self.ledger.add_interval(PowerState.ACTIVE, cycles)
+        if self._obs.enabled:
+            self._m_segments.inc()
+            self._m_busy.inc(cycles)
+            self._obs.span(self._track_core, "busy", self._cycle,
+                           cycles, category="cpu")
+        self._cycle += cycles
+        return 0
+
+    def _handle_stall(self, segment: StallSegment) -> int:
+        """Tile one stall into power states via the gating controller."""
+        cycles = segment.cycles
         if not segment.off_chip:
-            self.ledger.add_interval(PowerState.STALL, segment.cycles)
+            self.ledger.add_interval(PowerState.STALL, cycles)
             if self._obs.enabled:
                 self._m_segments.inc()
-                self._m_onchip.inc(segment.cycles)
+                self._m_onchip.inc(cycles)
                 self._obs.span(self._track_core, "stall.onchip", self._cycle,
-                               segment.cycles, category="mem")
-            self._cycle += segment.cycles
+                               cycles, category="mem")
+            self._cycle += cycles
             return 0
 
-        self.stall_histogram.observe(segment.cycles)
+        start_cycle = self._cycle
+        self.stall_histogram.observe(cycles)
         outcome = self.controller.process_stall(
             pc=segment.pc, bank=segment.bank,
-            actual_stall_cycles=segment.cycles, start_cycle=self._cycle,
+            actual_stall_cycles=cycles, start_cycle=start_cycle,
             kind=segment.dram_kind or "",
             elapsed_cycles=segment.elapsed_cycles)
         if self._record_timeline or self._obs.enabled:
             event = GatingTraceEvent(
-                start_cycle=self._cycle,
-                stall_cycles=segment.cycles,
+                start_cycle=start_cycle,
+                stall_cycles=cycles,
                 pc=segment.pc,
                 dram_kind=segment.dram_kind or "",
                 gated=outcome.gated,
@@ -206,17 +238,18 @@ class Simulator:
                 reason=outcome.decision.reason,
                 predicted_cycles=outcome.decision.predicted_cycles,
                 penalty_cycles=outcome.penalty_cycles,
-                intervals=tuple((state.value, cycles)
-                                for state, cycles in outcome.intervals),
+                intervals=tuple((state.value, interval_cycles)
+                                for state, interval_cycles in outcome.intervals),
             )
             if self._record_timeline:
                 self.timeline.append(event)
             if self._obs.enabled:
                 self._observe_stall(event)
-        for state, cycles in outcome.intervals:
-            self.ledger.add_interval(state, cycles)
+        ledger = self.ledger
+        for state, interval_cycles in outcome.intervals:
+            ledger.add_interval(state, interval_cycles)
         if outcome.event_energy_j > 0.0:
-            self.ledger.add_event(outcome.event_energy_j)
+            ledger.add_event(outcome.event_energy_j)
         self._cycle += outcome.total_cycles
         if outcome.penalty_cycles:
             self.core.add_delay(outcome.penalty_cycles)
@@ -259,8 +292,9 @@ class Simulator:
         """
         if self._finished:
             raise SimulationError("cannot warm up after the measured run")
+        handle = self.handle_segment
         for segment in self.core.segments(ops):
-            self.handle_segment(segment)
+            handle(segment)
         self.reset_measurements()
 
     def reset_measurements(self) -> None:
@@ -296,8 +330,9 @@ class Simulator:
         """Replay ``ops`` to completion and return the measurements."""
         if self._finished:
             raise SimulationError("a Simulator instance runs exactly one trace")
+        handle = self.handle_segment
         for segment in self.core.segments(ops):
-            self.handle_segment(segment)
+            handle(segment)
         self._finished = True
         return self.result()
 

@@ -133,8 +133,20 @@ class TestDet01WallClock:
         source = "import time\nstart = time.time()\n"
         assert run_lint(source, path="src/repro/analysis/report.py") == []
 
+    def test_flags_wall_clock_in_exec_engine(self):
+        # repro/exec is in DET01 scope: wall-clock reads could leak host
+        # time into scheduling, which must stay content-addressed.
+        source = "import time\nstart = time.perf_counter()\n"
+        findings = run_lint(source, path="src/repro/exec/engine.py")
+        assert rule_ids(findings) == ["DET01"]
+
 
 class TestDet01SetIteration:
+    def test_flags_set_iteration_in_exec_code(self):
+        source = "for key in set(pending):\n    dispatch(key)\n"
+        findings = run_lint(source, path="src/repro/exec/engine.py")
+        assert rule_ids(findings) == ["DET01"]
+
     def test_flags_for_over_set_literal(self):
         source = "for name in {'a', 'b'}:\n    print(name)\n"
         findings = run_lint(source, path="src/repro/core/policies.py")
