@@ -35,7 +35,7 @@ from repro.sim.results import SimulationResult
 
 # One trace store per pool worker, lazily built on the first task so the
 # parent never ships trace data across the process boundary.
-_WORKER_STORE: Optional[TraceStore] = None
+_WORKER_STORE: Optional[TraceStore] = None  # mapglint: declared-cache
 
 
 def _execute_payload(item: "Tuple[str, Dict[str, Any]]"

@@ -22,7 +22,7 @@ RESULT_SCHEMA = "mapg.sim-result/1"
 # only cause spurious invalidations: the linter caches itself.
 _EXCLUDED_DIRS = ("lint", "__pycache__")
 
-_simulation_version: Optional[str] = None
+_simulation_version: Optional[str] = None  # mapglint: declared-cache
 
 
 def digest_tree(root: str, excluded: "tuple[str, ...]" = _EXCLUDED_DIRS) -> str:

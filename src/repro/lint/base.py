@@ -136,8 +136,11 @@ class ProjectRule:
     Unlike :class:`LintRule`, a project rule never sees an AST: it runs
     once per lint invocation against the merged
     :class:`~repro.lint.project.graph.ProjectModel` (phase 2) and reports
-    findings anywhere in the project.  Per-line suppressions and the
-    baseline are applied by the runner, exactly as for file rules.
+    findings anywhere in the project.  Per-line ``# mapglint: disable``
+    suppressions are applied here in :meth:`check_project` — the exact
+    filter :meth:`LintRule.check` applies for file rules — so every
+    invocation path (the runner, direct rule calls, ``--rules`` subsets)
+    honors them identically; the baseline is applied by the runner.
     """
 
     rule_id: str = ""
@@ -151,7 +154,12 @@ class ProjectRule:
         """Run the rule over the whole-program model; returns findings."""
         self._findings = []
         self.run(model)
-        return list(dict.fromkeys(self._findings))
+        is_suppressed = getattr(model, "is_suppressed", None)
+        findings = list(dict.fromkeys(self._findings))
+        if is_suppressed is not None:
+            findings = [f for f in findings
+                        if not is_suppressed(f.path, f.rule_id, f.line)]
+        return findings
 
     def run(self, model: "object") -> None:
         """Override: inspect the model and call :meth:`report`."""
@@ -166,8 +174,12 @@ class ProjectRule:
             message=message, line_text=line_text))
 
 
-_REGISTRY: Dict[str, Type[LintRule]] = {}
-_PROJECT_REGISTRY: Dict[str, Type[ProjectRule]] = {}
+# Both registries are content-pure memos of the imported rule modules
+# (fully determined by the lint package source, which the ruleset digest
+# hashes), hence the declared-cache pragmas: reading them in a pool
+# worker cannot make output depend on scheduling.
+_REGISTRY: Dict[str, Type[LintRule]] = {}  # mapglint: declared-cache
+_PROJECT_REGISTRY: Dict[str, Type[ProjectRule]] = {}  # mapglint: declared-cache
 
 
 def register_rule(rule_class: Type[LintRule]) -> Type[LintRule]:

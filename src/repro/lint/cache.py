@@ -6,7 +6,7 @@ running the per-file rules plus the dimension inference that produces its
 the file's *content* and on the linter itself, so they are cached under
 ``.mapglint-cache/`` keyed by::
 
-    sha256(ruleset_version || summary_schema || file bytes)
+    sha256(ruleset_version || summary_schema || effect_schema || file bytes)
 
 where ``ruleset_version`` is a hash over the source of the entire
 ``repro.lint`` package — editing any rule, the inference engine, or this
@@ -30,6 +30,7 @@ import pickle
 from typing import Dict, List, Optional, Tuple
 
 from repro.lint.findings import Finding
+from repro.lint.project.effects import EFFECT_SCHEMA
 from repro.lint.project.summary import SUMMARY_SCHEMA, ModuleSummary
 
 DEFAULT_CACHE_DIR = ".mapglint-cache"
@@ -46,6 +47,10 @@ def ruleset_version() -> str:
         package_dir = os.path.dirname(os.path.abspath(repro.lint.__file__))
         digest = hashlib.sha256()
         digest.update(f"schema={SUMMARY_SCHEMA};".encode("utf-8"))
+        # The effect-summary schema is folded in separately: a change to
+        # the phase-1 effect layout must orphan every cached summary even
+        # if the package source hash were ever to collide.
+        digest.update(f"effects={EFFECT_SCHEMA};".encode("utf-8"))
         for root, dirs, names in os.walk(package_dir):
             dirs[:] = sorted(d for d in dirs if d != "__pycache__")
             for name in sorted(names):

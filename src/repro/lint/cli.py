@@ -40,6 +40,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated subset of rules to run")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the registered rules and exit")
+    parser.add_argument("--explain", metavar="RULE", default=None,
+                        help="print one rule's documentation with a "
+                             "minimal bad/good example and exit")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for per-file analysis "
                              "(default: 1)")
@@ -60,6 +63,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Lint CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    if args.explain:
+        from repro.lint.explain import explain_rule
+
+        try:
+            print(explain_rule(args.explain))
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        return 0
 
     if args.list_rules:
         for rule_class in list(all_rules()) + list(all_project_rules()):

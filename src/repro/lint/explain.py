@@ -1,0 +1,116 @@
+"""``repro lint --explain RULE``: rule documentation with examples.
+
+Each registered rule gets a short prose explanation straight from its
+class docstring plus a minimal *bad*/*good* example pair kept here, so
+the CLI can answer "what is this finding and how do I fix it" without a
+trip to docs/LINTING.md.
+"""
+
+from __future__ import annotations
+
+import inspect
+import textwrap
+from typing import Dict, Tuple
+
+from repro.lint.base import _PROJECT_REGISTRY, get_rule
+
+#: rule_id -> (bad example, good example).  Examples are deliberately
+#: minimal: one screen, one defect, one fix.
+_EXAMPLES: Dict[str, Tuple[str, str]] = {
+    "UNIT01": (
+        "stall_ns = wakeup_cycles * 1.25  # mixes cycles with SI units",
+        "stall_cycles = wakeup_cycles + WAKEUP_LATENCY_CYCLES",
+    ),
+    "UNIT02": (
+        "charge(ledger, idle_ns)        # callee expects cycles",
+        "charge(ledger, idle_cycles)    # dimension agrees across the call",
+    ),
+    "DET01": (
+        "jitter = random.random()       # global RNG in simulation code",
+        "jitter = self.rng.random()     # seeded per-run Random instance",
+    ),
+    "FSM01": (
+        "self.state = PgState.OFF       # skips the DRAIN transition",
+        "self.transition(PgState.DRAIN) # legal edge, checked by the FSM",
+    ),
+    "FLT01": (
+        "if energy_pj == budget_pj: ...",
+        "if math.isclose(energy_pj, budget_pj, rel_tol=1e-9): ...",
+    ),
+    "LEDGER01": (
+        "ledger.total_pj += 3.2          # direct mutation, no component",
+        "ledger.charge('bank', active_pj(cycles))  # tagged, derived",
+    ),
+    "CFG01": (
+        "retention_uw: float = 0.0       # never read, never range-checked",
+        "retention_uw: float = 0.0  # read by idle_power(); validated "
+        "in __post_init__",
+    ),
+    "EVT01": (
+        "heapq.heappush(queue, (time_ns, event))   # SI time, ties unstable",
+        "heapq.heappush(queue, (time_cycles, seq, event))  # cycle time + "
+        "deterministic tie-break",
+    ),
+    "CACHE01": (
+        "def gate_mode():\n"
+        "    return os.environ.get('MAPG_GATE', 'fixed')  # invisible to "
+        "the cache key",
+        "def gate_mode(config):\n"
+        "    return config.gate_mode  # threaded through JobSpec, hashed "
+        "into the key",
+    ),
+    "PURE01": (
+        "_SEEN = []\n"
+        "def _worker(item):\n"
+        "    _SEEN.append(item)      # accumulates across pool tasks\n"
+        "    return item",
+        "def _worker(item):\n"
+        "    return item             # everything flows through the payload",
+    ),
+    "OBS01": (
+        "recorder.instant('core0', 'tick', now)   # unguarded emission",
+        "if recorder.enabled:\n"
+        "    recorder.instant('core0', 'tick', now)",
+    ),
+    "PAR01": (
+        "pool.map(lambda x: x + 1, items)   # lambdas do not pickle",
+        "pool.map(_scale_item, items)       # module-level function",
+    ),
+}
+
+
+def explain_rule(rule_id: str) -> str:
+    """Human-readable explanation of one rule: doc plus bad/good example.
+
+    Raises :class:`KeyError` (with the known-rule list) for unknown ids,
+    exactly as :func:`repro.lint.base.get_rule` does.
+    """
+    rule_id = rule_id.strip().upper()
+    rule_class = get_rule(rule_id)
+    scope = "project" if rule_id in _PROJECT_REGISTRY else "file"
+    # Rule prose lives in the class docstring when present, otherwise in
+    # the defining module's docstring (the house style for rule files).
+    module = inspect.getmodule(rule_class)
+    doc = inspect.cleandoc(
+        rule_class.__doc__ or (module.__doc__ if module else "") or ""
+    ).strip()
+
+    parts = [
+        f"{rule_id}  [{rule_class.default_severity.value}/{scope}]",
+        "",
+        rule_class.summary,
+    ]
+    if doc:
+        parts += ["", doc]
+    example = _EXAMPLES.get(rule_id)
+    if example is not None:
+        bad, good = example
+        parts += [
+            "",
+            "bad:",
+            textwrap.indent(bad, "    "),
+            "",
+            "good:",
+            textwrap.indent(good, "    "),
+        ]
+    return "\n".join(parts)

@@ -190,11 +190,14 @@ class CallObservation:
     """One call expression seen during inference (consumed by summary.py)."""
 
     __slots__ = ("node", "name", "receiver", "arg_dims", "arg_tuple_lens",
-                 "kw_dims", "result_context")
+                 "kw_dims", "result_context", "obs_guarded", "result_used",
+                 "result_target")
 
     def __init__(self, node: ast.Call, name: str, receiver: str,
                  arg_dims: List[str], arg_tuple_lens: List[Optional[int]],
-                 kw_dims: Dict[str, str], result_context: str) -> None:
+                 kw_dims: Dict[str, str], result_context: str,
+                 obs_guarded: bool = False, result_used: bool = True,
+                 result_target: str = "") -> None:
         self.node = node
         self.name = name
         self.receiver = receiver
@@ -202,6 +205,9 @@ class CallObservation:
         self.arg_tuple_lens = arg_tuple_lens
         self.kw_dims = kw_dims
         self.result_context = result_context
+        self.obs_guarded = obs_guarded
+        self.result_used = result_used
+        self.result_target = result_target
 
 
 def dotted_name(node: ast.AST) -> str:
@@ -216,20 +222,47 @@ def dotted_name(node: ast.AST) -> str:
     return ""
 
 
+def _is_enabled_test(node: ast.AST) -> bool:
+    """Whether a condition proves the observability fast-path is on:
+    ``X.enabled``, a bare ``enabled``, or an ``and`` chain containing one."""
+    if isinstance(node, ast.Attribute) and node.attr == "enabled":
+        return True
+    if isinstance(node, ast.Name) and node.id == "enabled":
+        return True
+    if isinstance(node, ast.BoolOp) and isinstance(node.op, ast.And):
+        return any(_is_enabled_test(value) for value in node.values)
+    return False
+
+
+def _is_negative_enabled_guard(stmt: ast.stmt) -> bool:
+    """``if not X.enabled: return`` — everything after it is guarded."""
+    if not isinstance(stmt, ast.If) or stmt.orelse:
+        return False
+    test = stmt.test
+    if not (isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not)
+            and _is_enabled_test(test.operand)):
+        return False
+    return all(isinstance(sub, (ast.Return, ast.Continue, ast.Raise))
+               for sub in stmt.body)
+
+
 class FunctionAnalyzer:
     """Forward abstract interpreter over one function body.
 
     One linear pass in statement order — no fixpoint.  That under-infers
     loop-carried dimensions but never *mis*-infers them, which is the right
     trade for a linter.  Every :class:`ast.Call` encountered is reported to
-    ``on_call`` together with its locally inferred argument dimensions and
-    the dimension context its result flows into (assignment-target suffix).
+    ``on_call`` together with its locally inferred argument dimensions, the
+    dimension context its result flows into (assignment-target suffix),
+    whether the call sits under an observability ``enabled`` guard, and
+    whether/where its result is used.
     """
 
     def __init__(self, on_call: Optional[Callable[[CallObservation], None]] = None) -> None:
         self._on_call = on_call
         self.env: Dict[str, str] = {}
         self.return_dims: List[str] = []
+        self._guard_depth = 0
 
     # -- public API --------------------------------------------------------
 
@@ -251,8 +284,7 @@ class FunctionAnalyzer:
             dim = dim_of_name(arg.arg)
             params.append((arg.arg, dim))
             self.env[arg.arg] = dim
-        for stmt in func.body:
-            self._exec(stmt)
+        self._exec_block(func.body)
         return_dim = UNKNOWN
         if self.return_dims:
             return_dim = self.return_dims[0]
@@ -262,22 +294,40 @@ class FunctionAnalyzer:
 
     # -- statements --------------------------------------------------------
 
+    def _exec_block(self, stmts: Sequence[ast.stmt]) -> None:
+        """Execute a statement sequence, tracking early-return guards:
+        after ``if not X.enabled: return`` the rest of the block runs only
+        with observability on, so its calls count as guarded."""
+        bumped = 0
+        for stmt in stmts:
+            self._exec(stmt)
+            if _is_negative_enabled_guard(stmt):
+                self._guard_depth += 1
+                bumped += 1
+        self._guard_depth -= bumped
+
     def _exec(self, stmt: ast.stmt) -> None:
         if isinstance(stmt, ast.Assign):
             context = UNKNOWN
-            if len(stmt.targets) == 1 and isinstance(stmt.targets[0], ast.Name):
-                context = dim_of_name(stmt.targets[0].id)
-            value_dim = self.infer(stmt.value, context=context)
+            target_repr = ""
+            if len(stmt.targets) == 1:
+                target_repr = dotted_name(stmt.targets[0])
+                if isinstance(stmt.targets[0], ast.Name):
+                    context = dim_of_name(stmt.targets[0].id)
+            value_dim = self.infer(stmt.value, context=context,
+                                   target=target_repr)
             for target in stmt.targets:
                 self._bind(target, stmt.value, value_dim)
         elif isinstance(stmt, ast.AnnAssign):
             if stmt.value is not None:
                 context = (dim_of_name(stmt.target.id)
                            if isinstance(stmt.target, ast.Name) else UNKNOWN)
-                value_dim = self.infer(stmt.value, context=context)
+                value_dim = self.infer(stmt.value, context=context,
+                                       target=dotted_name(stmt.target))
                 self._bind(stmt.target, stmt.value, value_dim)
         elif isinstance(stmt, ast.AugAssign):
-            value_dim = self.infer(stmt.value)
+            value_dim = self.infer(stmt.value,
+                                   target=dotted_name(stmt.target))
             if isinstance(stmt.target, ast.Name):
                 current = self.env.get(stmt.target.id,
                                        dim_of_name(stmt.target.id))
@@ -287,38 +337,41 @@ class FunctionAnalyzer:
             if stmt.value is None:
                 self.return_dims.append(UNKNOWN)
             else:
-                self.return_dims.append(self.infer(stmt.value))
+                self.return_dims.append(
+                    self.infer(stmt.value, target="<return>"))
         elif isinstance(stmt, ast.Expr):
-            self.infer(stmt.value)
+            self.infer(stmt.value, used=False)
         elif isinstance(stmt, ast.For):
             iter_dim = self.infer(stmt.iter)
             self._bind_loop_target(stmt.target, stmt.iter, iter_dim)
-            for sub in stmt.body + stmt.orelse:
-                self._exec(sub)
+            self._exec_block(stmt.body)
+            self._exec_block(stmt.orelse)
         elif isinstance(stmt, ast.While):
             self.infer(stmt.test)
-            for sub in stmt.body + stmt.orelse:
-                self._exec(sub)
+            self._exec_block(stmt.body)
+            self._exec_block(stmt.orelse)
         elif isinstance(stmt, ast.If):
             self.infer(stmt.test)
-            for sub in stmt.body + stmt.orelse:
-                self._exec(sub)
+            if _is_enabled_test(stmt.test):
+                self._guard_depth += 1
+                self._exec_block(stmt.body)
+                self._guard_depth -= 1
+            else:
+                self._exec_block(stmt.body)
+            self._exec_block(stmt.orelse)
         elif isinstance(stmt, ast.With):
             for item in stmt.items:
                 self.infer(item.context_expr)
                 if item.optional_vars is not None and \
                         isinstance(item.optional_vars, ast.Name):
                     self.env[item.optional_vars.id] = UNKNOWN
-            for sub in stmt.body:
-                self._exec(sub)
+            self._exec_block(stmt.body)
         elif isinstance(stmt, ast.Try):
-            for sub in stmt.body:
-                self._exec(sub)
+            self._exec_block(stmt.body)
             for handler in stmt.handlers:
-                for sub in handler.body:
-                    self._exec(sub)
-            for sub in stmt.orelse + stmt.finalbody:
-                self._exec(sub)
+                self._exec_block(handler.body)
+            self._exec_block(stmt.orelse)
+            self._exec_block(stmt.finalbody)
         elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
             # Nested defs get their own analyzer in summary.py; here we only
             # note the name so it doesn't look like an undefined quantity.
@@ -386,8 +439,14 @@ class FunctionAnalyzer:
 
     # -- expressions -------------------------------------------------------
 
-    def infer(self, node: ast.AST, context: str = UNKNOWN) -> str:
-        """Dimension of an expression under the current environment."""
+    def infer(self, node: ast.AST, context: str = UNKNOWN,
+              used: bool = True, target: str = "") -> str:
+        """Dimension of an expression under the current environment.
+
+        ``used``/``target`` describe how the *top-level* expression's value
+        is consumed (statement-expression results are unused; assignment
+        targets are named); nested subexpressions are always "used".
+        """
         if isinstance(node, ast.Constant):
             if isinstance(node.value, bool):
                 return NUM
@@ -423,7 +482,7 @@ class FunctionAnalyzer:
             self.infer(node.test)
             return join(self.infer(node.body), self.infer(node.orelse))
         if isinstance(node, ast.Call):
-            return self._infer_call(node, context)
+            return self._infer_call(node, context, used=used, target=target)
         if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
             for element in node.elts:
                 self.infer(element)
@@ -440,7 +499,8 @@ class FunctionAnalyzer:
             return self.infer(node.value)
         return UNKNOWN
 
-    def _infer_call(self, node: ast.Call, context: str) -> str:
+    def _infer_call(self, node: ast.Call, context: str,
+                    used: bool = True, target: str = "") -> str:
         name = ""
         receiver = ""
         if isinstance(node.func, ast.Name):
@@ -470,7 +530,8 @@ class FunctionAnalyzer:
             self._on_call(CallObservation(
                 node=node, name=name, receiver=receiver, arg_dims=arg_dims,
                 arg_tuple_lens=arg_tuple_lens, kw_dims=kw_dims,
-                result_context=context))
+                result_context=context, obs_guarded=self._guard_depth > 0,
+                result_used=used, result_target=target))
 
         # Result dimension.
         if name in UNITS_HELPERS:

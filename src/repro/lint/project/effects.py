@@ -1,0 +1,767 @@
+"""Effect inference for the whole-program analyzer.
+
+The dimension lattice (:mod:`repro.lint.project.dimensions`) answers *what
+quantity* an expression denotes; this module answers *what the world does
+to a function and what the function does to the world*.  Phase 1 extracts,
+per function, a set of :class:`Effect` facts — environment-variable reads,
+filesystem access, global-RNG draws, wall-clock reads, process/pool
+management, and reads/writes of mutable module globals — each with the
+exact source site as evidence.  Phase 2 (:class:`EffectPropagator`)
+closes those local facts transitively over the resolved call graph with a
+fixpoint over the effect lattice (a powerset lattice: union is the join,
+the bottom element is the empty set, and every transfer function is
+monotone, so the fixpoint exists and is reached in finitely many sweeps).
+
+Effects are what turn the execution engine's correctness assumptions into
+machine-checked facts:
+
+* a value that reaches simulation state from an **env read** or a mutable
+  **module global** is invisible to the ``JobSpec``/source digest that
+  addresses the result cache — a stale-cache hazard (CACHE01);
+* a function submitted to a ``multiprocessing`` pool must be **effect-free**
+  beyond its payload, or worker scheduling leaks into results (PURE01);
+* pool payloads must be **plain-picklable** (PAR01), which is a *shape*
+  fact recorded here as :class:`PoolSubmission`.
+
+Call-graph edges follow the project's agreement philosophy: effects
+propagate only through **unambiguously resolved** calls (exactly one
+definition for the bare name).  An ambiguous or unresolvable callee
+contributes nothing — the engine under-approximates rather than guesses,
+so every reported effect chain is real.
+
+A module global that is a *deliberate, content-pure memo* (a cache whose
+value is derived entirely from the payload or the source tree) can be
+declared on its definition line::
+
+    _WORKER_STORE = None  # mapglint: declared-cache
+
+Declared caches produce no global-read/global-write effects; the
+declaration is the author's auditable claim that the memo cannot change
+any result, placed where a reviewer will see it.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.lint.project.dimensions import dotted_name
+
+#: Bump when the effect-summary layout or inference changes; folded into
+#: the result-cache key (see :mod:`repro.lint.cache`) so upgrading the
+#: linter can never serve stale phase-1 effect summaries.
+EFFECT_SCHEMA = 1
+
+# ---- the effect alphabet ---------------------------------------------------
+
+ENV = "env"                    # os.environ / os.getenv reads
+FS = "fs"                      # filesystem reads or writes
+RNG = "rng"                    # process-global RNG draws
+CLOCK = "clock"                # wall-clock reads
+PROCESS = "process"            # process/pool management, pids
+GLOBAL_WRITE = "global-write"  # post-import mutation of a module global
+GLOBAL_READ = "global-read"    # read of a post-import-mutated module global
+OBS_EMIT = "obs-emit"          # recorder/metrics emission (from call sites)
+
+#: Every effect kind phase 1 can emit, in display order.
+ALL_EFFECTS = (ENV, FS, RNG, CLOCK, PROCESS, GLOBAL_WRITE, GLOBAL_READ,
+               OBS_EMIT)
+
+#: The kinds that make a pool worker impure (PURE01) — everything except
+#: recorder emission, which workers never see (recorders are per-process).
+IMPURE_KINDS = frozenset({ENV, FS, RNG, CLOCK, PROCESS,
+                          GLOBAL_WRITE, GLOBAL_READ})
+
+#: The kinds that make a cached simulation result stale-prone (CACHE01):
+#: inputs the JobSpec/source digest cannot see.
+CACHE_HAZARD_KINDS = frozenset({ENV, GLOBAL_WRITE, GLOBAL_READ})
+
+
+@dataclass(frozen=True)
+class Effect:
+    """One observed effect with its evidence site."""
+
+    kind: str                  # one of ALL_EFFECTS
+    detail: str                # human-readable evidence ("os.getenv('X')")
+    line: int
+    col: int
+    line_text: str = ""
+    symbol: str = ""           # the global/attr involved, when applicable
+
+
+@dataclass(frozen=True)
+class FunctionEffects:
+    """The locally observed effects of one function or method."""
+
+    qualname: str              # matches FunctionInfo.qualname
+    name: str
+    line: int
+    effects: Tuple[Effect, ...]
+
+
+@dataclass(frozen=True)
+class ClassAttrInfo:
+    """One mutable class-body attribute (a latent shared cache)."""
+
+    class_name: str
+    attr: str
+    line: int
+    col: int
+    line_text: str = ""
+
+
+@dataclass(frozen=True)
+class PoolSubmission:
+    """One site handing work to a multiprocessing pool/process."""
+
+    method: str                # "map", "imap_unordered", "Process", ...
+    worker_kind: str           # "name" | "lambda" | "attribute" | "other"
+    worker_name: str           # bare name when worker_kind == "name"
+    worker_repr: str           # source spelling of the worker expression
+    receiver: str              # dotted receiver ("pool"), may be ""
+    in_function: str           # qualname of the enclosing function
+    line: int
+    col: int
+    line_text: str = ""
+    lambda_in_args: bool = False
+    open_in_args: bool = False
+
+
+@dataclass(frozen=True)
+class ModuleEffects:
+    """Everything effect-related phase 2 needs from one module."""
+
+    path: str
+    functions: Tuple[FunctionEffects, ...] = ()
+    pool_submissions: Tuple[PoolSubmission, ...] = ()
+    class_mutable_attrs: Tuple[ClassAttrInfo, ...] = ()
+    mutable_globals: FrozenSet[str] = frozenset()
+    mutated_globals: FrozenSet[str] = frozenset()
+    declared_caches: FrozenSet[str] = frozenset()
+    nested_functions: FrozenSet[str] = frozenset()
+
+
+# ---- detection tables ------------------------------------------------------
+
+_DECLARED_CACHE_RE = re.compile(r"#\s*mapglint:\s*declared-cache\b")
+
+_WALL_CLOCK = {
+    "time": frozenset({"time", "time_ns", "perf_counter", "perf_counter_ns",
+                       "monotonic", "monotonic_ns", "process_time"}),
+    "datetime": frozenset({"now", "utcnow", "today"}),
+    "date": frozenset({"today"}),
+}
+
+_GLOBAL_RANDOM_FUNCS = frozenset({
+    "betavariate", "choice", "choices", "expovariate", "gammavariate",
+    "gauss", "getrandbits", "lognormvariate", "normalvariate",
+    "paretovariate", "randbytes", "randint", "random", "randrange",
+    "sample", "seed", "shuffle", "triangular", "uniform",
+    "vonmisesvariate", "weibullvariate",
+})
+
+_OS_FS_FUNCS = frozenset({
+    "replace", "remove", "unlink", "makedirs", "mkdir", "rmdir", "rename",
+    "renames", "link", "symlink", "walk", "listdir", "scandir", "chmod",
+    "chown", "truncate", "utime", "stat", "lstat", "access",
+})
+
+_OS_PATH_FS_FUNCS = frozenset({
+    "exists", "isfile", "isdir", "getsize", "getmtime", "getatime",
+    "getctime", "samefile", "realpath",
+})
+
+#: Methods distinctive enough to mean pathlib I/O whatever the receiver.
+_PATHLIKE_FS_METHODS = frozenset({
+    "write_text", "read_text", "write_bytes", "read_bytes", "touch",
+    "rglob", "iterdir",
+})
+
+_OS_PROC_FUNCS = frozenset({"getpid", "fork", "forkpty", "kill", "system",
+                            "popen", "waitpid"})
+
+_POOL_METHODS = frozenset({"map", "imap", "imap_unordered", "map_async",
+                           "starmap", "starmap_async", "apply",
+                           "apply_async", "submit"})
+
+_POOL_RECEIVER_HINTS = ("pool", "executor")
+
+#: Container methods that mutate their receiver in place.
+_MUTATOR_METHODS = frozenset({
+    "append", "add", "update", "extend", "insert", "setdefault", "pop",
+    "popitem", "clear", "remove", "discard", "move_to_end",
+})
+
+_MUTABLE_VALUE_NODES = (ast.Dict, ast.List, ast.Set, ast.ListComp,
+                        ast.DictComp, ast.SetComp)
+
+_MUTABLE_FACTORIES = frozenset({"dict", "list", "set", "defaultdict",
+                                "OrderedDict", "deque", "Counter"})
+
+
+def parse_declared_caches(source: str) -> Set[int]:
+    """Line numbers carrying a ``# mapglint: declared-cache`` pragma."""
+    lines: Set[int] = set()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if _DECLARED_CACHE_RE.search(line):
+            lines.add(lineno)
+    return lines
+
+
+def _is_mutable_value(node: ast.AST) -> bool:
+    if isinstance(node, _MUTABLE_VALUE_NODES):
+        return True
+    if isinstance(node, ast.Call):
+        target = node.func
+        name = target.id if isinstance(target, ast.Name) else (
+            target.attr if isinstance(target, ast.Attribute) else "")
+        return name in _MUTABLE_FACTORIES
+    return False
+
+
+def _line_text(lines: List[str], line: int) -> str:
+    if 1 <= line <= len(lines):
+        return lines[line - 1]
+    return ""
+
+
+def _source_repr(source: str, node: ast.AST, limit: int = 60) -> str:
+    segment = ast.get_source_segment(source, node)
+    if segment is None:
+        return ""
+    segment = " ".join(segment.split())
+    return segment if len(segment) <= limit else segment[:limit - 3] + "..."
+
+
+def _call_base(func: ast.Attribute) -> str:
+    """Dotted spelling of everything left of the final attribute hop."""
+    return dotted_name(func.value)
+
+
+# ---- per-function effect visitor -------------------------------------------
+
+
+class _EffectVisitor(ast.NodeVisitor):
+    """Collects the local effects of one function body.
+
+    ``write_watch`` are module globals whose mutation is an effect;
+    ``read_watch`` the (sub)set whose *reads* are also effects (globals
+    some function mutates after import).  Names the function rebinds
+    locally (without a ``global`` declaration) shadow the module binding
+    and are excluded by the caller.
+    """
+
+    def __init__(self, lines: List[str], source: str,
+                 write_watch: FrozenSet[str], read_watch: FrozenSet[str],
+                 global_decls: FrozenSet[str]) -> None:
+        self.lines = lines
+        self.source = source
+        self.write_watch = write_watch
+        self.read_watch = read_watch
+        self.global_decls = global_decls
+        self.effects: List[Effect] = []
+
+    # -- helpers -----------------------------------------------------------
+
+    def _emit(self, kind: str, node: ast.AST, detail: str,
+              symbol: str = "") -> None:
+        line = getattr(node, "lineno", 1)
+        self.effects.append(Effect(
+            kind=kind, detail=detail, line=line,
+            col=getattr(node, "col_offset", 0) + 1,
+            line_text=_line_text(self.lines, line), symbol=symbol))
+
+    # -- env ----------------------------------------------------------------
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.ctx, ast.Load) and node.attr == "environ" and \
+                isinstance(node.value, ast.Name) and node.value.id == "os":
+            self._emit(ENV, node, "reads os.environ")
+        self.generic_visit(node)
+
+    # -- globals -------------------------------------------------------------
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load) and node.id in self.read_watch:
+            self._emit(GLOBAL_READ, node,
+                       f"reads mutable module global '{node.id}'",
+                       symbol=node.id)
+        self.generic_visit(node)
+
+    def _check_write_target(self, target: ast.AST, node: ast.AST) -> None:
+        base = target
+        subscripted = False
+        while isinstance(base, ast.Subscript):
+            base = base.value
+            subscripted = True
+        if isinstance(base, ast.Name):
+            name = base.id
+            if name not in self.write_watch:
+                return
+            if subscripted or name in self.global_decls:
+                verb = ("mutates" if subscripted else "rebinds")
+                self._emit(GLOBAL_WRITE, node,
+                           f"{verb} module global '{name}'", symbol=name)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_write_target(target, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_write_target(node.target, node)
+        # An augmented write is also a read of the previous value.
+        base = node.target
+        while isinstance(base, ast.Subscript):
+            base = base.value
+        if isinstance(base, ast.Name) and base.id in self.read_watch:
+            self._emit(GLOBAL_READ, node,
+                       f"reads mutable module global '{base.id}'",
+                       symbol=base.id)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._check_write_target(target, node)
+        self.generic_visit(node)
+
+    # -- calls ---------------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            self._check_bare_call(node, func.id)
+        elif isinstance(func, ast.Attribute):
+            self._check_attr_call(node, func)
+        self.generic_visit(node)
+
+    def _check_bare_call(self, node: ast.Call, name: str) -> None:
+        if name == "open":
+            self._emit(FS, node, "open() touches the filesystem")
+        elif name == "getenv":
+            self._emit(ENV, node, "getenv() reads the environment")
+        elif name in ("Pool", "Process"):
+            self._emit(PROCESS, node, f"{name}() manages processes")
+
+    def _check_attr_call(self, node: ast.Call, func: ast.Attribute) -> None:
+        base = _call_base(func)
+        attr = func.attr
+        rendering = f"{base}.{attr}" if base else attr
+        if base == "os":
+            if attr == "getenv":
+                self._emit(ENV, node, "os.getenv() reads the environment")
+            elif attr in _OS_FS_FUNCS:
+                self._emit(FS, node, f"{rendering}() touches the filesystem")
+            elif attr in _OS_PROC_FUNCS:
+                self._emit(PROCESS, node,
+                           f"{rendering}() reads/manages process state")
+        elif base == "os.environ":
+            self._emit(ENV, node, "reads os.environ")
+        elif base == "os.path" and attr in _OS_PATH_FS_FUNCS:
+            self._emit(FS, node, f"{rendering}() inspects the filesystem")
+        elif base in ("shutil", "tempfile"):
+            self._emit(FS, node, f"{rendering}() touches the filesystem")
+        elif base == "subprocess":
+            self._emit(PROCESS, node, f"{rendering}() spawns a process")
+        elif base in ("multiprocessing", "mp") or \
+                base.startswith("multiprocessing."):
+            self._emit(PROCESS, node, f"{rendering}() manages processes")
+        elif attr in ("Pool", "Process", "get_context"):
+            self._emit(PROCESS, node, f"{rendering}() manages processes")
+        elif base in _WALL_CLOCK and attr in _WALL_CLOCK[base]:
+            self._emit(CLOCK, node, f"{rendering}() reads the wall clock")
+        elif base == "random" and attr in _GLOBAL_RANDOM_FUNCS:
+            self._emit(RNG, node,
+                       f"{rendering}() draws from the global RNG")
+        elif base in ("np.random", "numpy.random"):
+            self._emit(RNG, node,
+                       f"{rendering}() draws from the global NumPy RNG")
+        elif attr in _PATHLIKE_FS_METHODS:
+            self._emit(FS, node, f".{attr}() touches the filesystem")
+        elif isinstance(func.value, ast.Name) and \
+                func.value.id in self.write_watch and \
+                attr in _MUTATOR_METHODS:
+            self._emit(GLOBAL_WRITE, node,
+                       f"mutates module global '{func.value.id}' via "
+                       f".{attr}()", symbol=func.value.id)
+
+    # Nested defs are analyzed as functions of their own; don't double-count.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+
+class _MutationScanner(ast.NodeVisitor):
+    """Module-wide prepass: which globals do function bodies mutate?"""
+
+    def __init__(self, candidates: FrozenSet[str]) -> None:
+        self.candidates = candidates
+        self.mutated: Set[str] = set()
+        self.global_decls: Set[str] = set()
+
+    def visit_Global(self, node: ast.Global) -> None:
+        for name in node.names:
+            self.global_decls.add(name)
+            self.mutated.add(name)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check(node.target)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and \
+                isinstance(func.value, ast.Name) and \
+                func.value.id in self.candidates and \
+                func.attr in _MUTATOR_METHODS:
+            self.mutated.add(func.value.id)
+        self.generic_visit(node)
+
+    def _check(self, target: ast.AST) -> None:
+        subscripted = False
+        while isinstance(target, ast.Subscript):
+            target = target.value
+            subscripted = True
+        if isinstance(target, ast.Name) and subscripted and \
+                target.id in self.candidates:
+            self.mutated.add(target.id)
+
+
+def _local_bindings(func: ast.AST) -> Set[str]:
+    """Names a function rebinds without declaring them global."""
+    bound: Set[str] = set()
+    global_decls: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Global):
+            global_decls.update(node.names)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    bound.add(target.id)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            if isinstance(node.target, ast.Name):
+                bound.add(node.target.id)
+        elif isinstance(node, ast.For):
+            if isinstance(node.target, ast.Name):
+                bound.add(node.target.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node is not func:
+                bound.add(node.name)
+    args = getattr(func, "args", None)
+    if args is not None:
+        for arg in (list(args.posonlyargs) + list(args.args)
+                    + list(args.kwonlyargs)):
+            bound.add(arg.arg)
+        if args.vararg:
+            bound.add(args.vararg.arg)
+        if args.kwarg:
+            bound.add(args.kwarg.arg)
+    return bound - global_decls
+
+
+class _PoolSiteCollector(ast.NodeVisitor):
+    """Finds pool/process submission sites inside one function body."""
+
+    def __init__(self, lines: List[str], source: str, qualname: str,
+                 into: List[PoolSubmission]) -> None:
+        self.lines = lines
+        self.source = source
+        self.qualname = qualname
+        self.into = into
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        worker: Optional[ast.AST] = None
+        method = ""
+        receiver = ""
+        if isinstance(func, ast.Attribute) and func.attr in _POOL_METHODS:
+            receiver = dotted_name(func.value)
+            tail = receiver.lower().rsplit(".", 1)[-1]
+            if any(hint in tail for hint in _POOL_RECEIVER_HINTS):
+                method = func.attr
+                worker = node.args[0] if node.args else None
+                if worker is None:
+                    for keyword in node.keywords:
+                        if keyword.arg in ("func", "fn"):
+                            worker = keyword.value
+        elif (isinstance(func, ast.Name) and func.id == "Process") or \
+                (isinstance(func, ast.Attribute) and func.attr == "Process"):
+            method = "Process"
+            receiver = dotted_name(func.value) \
+                if isinstance(func, ast.Attribute) else ""
+            for keyword in node.keywords:
+                if keyword.arg == "target":
+                    worker = keyword.value
+        if method and worker is not None:
+            self._record(node, method, receiver, worker)
+        self.generic_visit(node)
+
+    def _record(self, node: ast.Call, method: str, receiver: str,
+                worker: ast.AST) -> None:
+        if isinstance(worker, ast.Lambda):
+            kind, name = "lambda", ""
+        elif isinstance(worker, ast.Name):
+            kind, name = "name", worker.id
+        elif isinstance(worker, ast.Attribute):
+            kind, name = "attribute", worker.attr
+        else:
+            kind, name = "other", ""
+        others = [arg for arg in node.args if arg is not worker]
+        others.extend(kw.value for kw in node.keywords
+                      if kw.value is not worker)
+        lambda_in_args = any(isinstance(sub, ast.Lambda)
+                             for other in others
+                             for sub in ast.walk(other))
+        open_in_args = any(
+            isinstance(sub, ast.Call) and isinstance(sub.func, ast.Name)
+            and sub.func.id == "open"
+            for other in others for sub in ast.walk(other))
+        self.into.append(PoolSubmission(
+            method=method, worker_kind=kind, worker_name=name,
+            worker_repr=_source_repr(self.source, worker),
+            receiver=receiver, in_function=self.qualname,
+            line=node.lineno, col=node.col_offset + 1,
+            line_text=_line_text(self.lines, node.lineno),
+            lambda_in_args=lambda_in_args, open_in_args=open_in_args))
+
+
+# ---- module extraction -----------------------------------------------------
+
+
+def extract_module_effects(path: str, source: str,
+                           tree: ast.Module) -> ModuleEffects:
+    """Phase 1: the :class:`ModuleEffects` record for one parsed module."""
+    norm = path.replace("\\", "/")
+    lines = source.splitlines()
+    declared_lines = parse_declared_caches(source)
+
+    # Module-level bindings: which names hold mutable containers, which
+    # definitions carry the declared-cache pragma.
+    mutable: Set[str] = set()
+    declared: Set[str] = set()
+    class_attrs: List[ClassAttrInfo] = []
+    for stmt in tree.body:
+        targets: List[ast.AST] = []
+        value: Optional[ast.AST] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = list(stmt.targets), stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if stmt.lineno in declared_lines:
+                declared.add(target.id)
+            if value is not None and _is_mutable_value(value):
+                mutable.add(target.id)
+
+    # Mutable class-body attributes (shared across every instance).
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for stmt in node.body:
+            value = None
+            name = ""
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 and \
+                    isinstance(stmt.targets[0], ast.Name):
+                name, value = stmt.targets[0].id, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and \
+                    isinstance(stmt.target, ast.Name):
+                name, value = stmt.target.id, stmt.value
+            if value is not None and _is_mutable_value(value) and \
+                    stmt.lineno not in declared_lines:
+                class_attrs.append(ClassAttrInfo(
+                    class_name=node.name, attr=name, line=stmt.lineno,
+                    col=stmt.col_offset + 1,
+                    line_text=_line_text(lines, stmt.lineno)))
+
+    # Which globals does any function body mutate after import?
+    scanner = _MutationScanner(frozenset(mutable))
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            scanner.visit(node)
+    mutated = (set(scanner.mutated) | set(scanner.global_decls)) - declared
+    write_watch = frozenset((mutable | scanner.global_decls) - declared)
+    read_watch = frozenset(mutated)
+
+    functions: List[FunctionEffects] = []
+    pool_sites: List[PoolSubmission] = []
+    nested: Set[str] = set()
+
+    def analyze(func: ast.AST, class_name: str) -> None:
+        assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+        qual = f"{class_name}.{func.name}" if class_name else func.name
+        qualname = f"{norm}::{qual}"
+        locals_ = frozenset(_local_bindings(func))
+        visitor = _EffectVisitor(
+            lines, source,
+            write_watch=frozenset(write_watch - locals_),
+            read_watch=frozenset(read_watch - locals_),
+            global_decls=frozenset(scanner.global_decls))
+        for stmt in func.body:
+            visitor.visit(stmt)
+        if visitor.effects:
+            functions.append(FunctionEffects(
+                qualname=qualname, name=func.name, line=func.lineno,
+                effects=tuple(visitor.effects)))
+        collector = _PoolSiteCollector(lines, source, qualname, pool_sites)
+        for stmt in func.body:
+            collector.visit(stmt)
+
+    def walk_body(body: List[ast.stmt], class_name: str = "",
+                  in_function: bool = False) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if in_function:
+                    nested.add(stmt.name)
+                analyze(stmt, class_name)
+                walk_body(stmt.body, class_name=class_name, in_function=True)
+            elif isinstance(stmt, ast.ClassDef):
+                walk_body(stmt.body, class_name=stmt.name,
+                          in_function=in_function)
+
+    walk_body(tree.body)
+
+    # Module-level statements: import-time effects (an env read at import
+    # is just as invisible to the cache key as one inside a function).
+    module_stmts = [stmt for stmt in tree.body
+                    if not isinstance(stmt, (ast.FunctionDef,
+                                             ast.AsyncFunctionDef,
+                                             ast.ClassDef, ast.Import,
+                                             ast.ImportFrom))]
+    if module_stmts:
+        visitor = _EffectVisitor(lines, source, write_watch=frozenset(),
+                                 read_watch=frozenset(),
+                                 global_decls=frozenset())
+        for stmt in module_stmts:
+            visitor.visit(stmt)
+        if visitor.effects:
+            functions.append(FunctionEffects(
+                qualname=f"{norm}::<module>", name="<module>", line=1,
+                effects=tuple(visitor.effects)))
+        collector = _PoolSiteCollector(lines, source, f"{norm}::<module>",
+                                       pool_sites)
+        for stmt in module_stmts:
+            collector.visit(stmt)
+
+    return ModuleEffects(
+        path=norm,
+        functions=tuple(functions),
+        pool_submissions=tuple(pool_sites),
+        class_mutable_attrs=tuple(class_attrs),
+        mutable_globals=frozenset(mutable),
+        mutated_globals=frozenset(mutated),
+        declared_caches=frozenset(declared),
+        nested_functions=frozenset(nested),
+    )
+
+
+# ---- phase 2: transitive closure over the call graph -----------------------
+
+
+@dataclass(frozen=True)
+class ReachedEffect:
+    """One effect visible from a root, with the function it lives in."""
+
+    origin: str                # qualname of the function with the effect
+    effect: Effect
+
+
+class EffectPropagator:
+    """Fixpoint closure of per-function effects over resolved calls.
+
+    Edges follow the agreement rule: a call contributes its callee's
+    transitive effects only when the bare name resolves to **exactly one**
+    definition.  The transfer function is set union — monotone over the
+    powerset lattice of ``(origin, effect)`` pairs — so repeated sweeps
+    reach the least fixpoint, cycles included.
+    """
+
+    def __init__(self, model: "object") -> None:
+        # ``model`` is a ProjectModel; typed loosely to avoid a cycle.
+        local: Dict[str, FrozenSet[ReachedEffect]] = {}
+        for summary in model.summaries:  # type: ignore[attr-defined]
+            module_effects = getattr(summary, "module_effects", None)
+            if module_effects is None:
+                continue
+            for info in module_effects.functions:
+                local[info.qualname] = frozenset(
+                    ReachedEffect(origin=info.qualname, effect=effect)
+                    for effect in info.effects)
+        edges: Dict[str, Tuple[str, ...]] = {}
+        for summary in model.summaries:  # type: ignore[attr-defined]
+            for info in summary.functions:
+                targets: List[str] = []
+                for call in info.calls:
+                    candidates = model.resolve(call.name)  # type: ignore[attr-defined]
+                    if len(candidates) == 1:
+                        targets.append(candidates[0].qualname)
+                edges[info.qualname] = tuple(dict.fromkeys(targets))
+        self._edges = edges
+        self._transitive = self._fixpoint(local, edges)
+
+    @staticmethod
+    def _fixpoint(local: Dict[str, FrozenSet[ReachedEffect]],
+                  edges: Dict[str, Tuple[str, ...]]
+                  ) -> Dict[str, FrozenSet[ReachedEffect]]:
+        state: Dict[str, Set[ReachedEffect]] = {
+            qualname: set(local.get(qualname, frozenset()))
+            for qualname in sorted(set(edges) | set(local))}
+        changed = True
+        while changed:
+            changed = False
+            for qualname in sorted(state):
+                current = state[qualname]
+                before = len(current)
+                for callee in edges.get(qualname, ()):
+                    reached = state.get(callee)
+                    if reached:
+                        current |= reached
+                if len(current) != before:
+                    changed = True
+        return {qualname: frozenset(reached)
+                for qualname, reached in state.items()}
+
+    def transitive(self, qualname: str) -> FrozenSet[ReachedEffect]:
+        """Every ``(origin, effect)`` reachable from ``qualname``."""
+        return self._transitive.get(qualname, frozenset())
+
+    def call_path(self, root: str, origin: str) -> List[str]:
+        """A shortest root→origin chain over the propagated edges."""
+        if root == origin:
+            return [root]
+        parents: Dict[str, str] = {root: ""}
+        frontier = [root]
+        while frontier:
+            next_frontier: List[str] = []
+            for qualname in frontier:
+                for callee in self._edges.get(qualname, ()):
+                    if callee in parents:
+                        continue
+                    parents[callee] = qualname
+                    if callee == origin:
+                        chain = [callee]
+                        while parents[chain[-1]]:
+                            chain.append(parents[chain[-1]])
+                        return list(reversed(chain))
+                    next_frontier.append(callee)
+            frontier = next_frontier
+        return [root, origin]
+
+
+def format_chain(path_names: List[str]) -> str:
+    """Render a call chain compactly: drop module prefixes, arrow-join."""
+    return " -> ".join(name.split("::", 1)[-1] for name in path_names)

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from repro.lint.project.effects import EffectPropagator
 from repro.lint.project.summary import (
     CallSite, DataclassInfo, FunctionInfo, ModuleSummary)
 
@@ -61,9 +62,14 @@ class ProjectModel:
         # Union of attribute reads over non-test source (excluding
         # __post_init__ bodies — see summary.py).
         self.src_attr_reads: Set[str] = set()
+        # All functions (tests included), keyed by display qualname — the
+        # effect engine anchors findings on definitions wherever they live.
+        self.functions_by_qualname: Dict[str, FunctionInfo] = {}
+        self._effects: Optional[EffectPropagator] = None
         for summary in self.summaries:
             test = is_test_path(summary.path)
             for info in summary.functions:
+                self.functions_by_qualname[info.qualname] = info
                 if not test and info.name != "<module>":
                     self.functions_by_name.setdefault(info.name, []).append(info)
             for dc_info in summary.dataclasses:
@@ -85,6 +91,12 @@ class ProjectModel:
         if name in self._UNRESOLVABLE:
             return []
         return self.functions_by_name.get(name, [])
+
+    def effects(self) -> EffectPropagator:
+        """The transitive effect closure, built once per model on demand."""
+        if self._effects is None:
+            self._effects = EffectPropagator(self)
+        return self._effects
 
     # ---- agreed facts across ambiguous candidates ------------------------
 

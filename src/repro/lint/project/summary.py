@@ -20,10 +20,11 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.lint.project.dimensions import (
     UNKNOWN, CallObservation, FunctionAnalyzer, dim_of_name, dotted_name)
+from repro.lint.project.effects import ModuleEffects, extract_module_effects
 
 #: Bump when the summary layout changes so cached pickles are invalidated
 #: even if the source of the lint package somehow hashes equal.
-SUMMARY_SCHEMA = 2
+SUMMARY_SCHEMA = 3
 
 
 @dataclass(frozen=True)
@@ -41,6 +42,9 @@ class CallSite:
     arg_tuple_lens: Tuple[Optional[int], ...]
     kw_dims: Tuple[Tuple[str, str], ...]
     result_context: str        # dimension the result visibly flows into
+    obs_guarded: bool = False  # under an ``enabled`` observability guard
+    result_used: bool = True   # False for bare statement-expressions
+    result_target: str = ""    # dotted assignment target, "" if none
 
 
 @dataclass(frozen=True)
@@ -98,6 +102,7 @@ class ModuleSummary:
     attr_reads: Set[str] = field(default_factory=set)
     attr_writes: List[AttrWrite] = field(default_factory=list)
     suppressions: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+    module_effects: Optional[ModuleEffects] = None
 
     def is_suppressed(self, rule_id: str, line: int) -> bool:
         rules = self.suppressions.get(line)
@@ -189,6 +194,9 @@ def _analyze_function(path: str, source: str, lines: List[str],
             arg_tuple_lens=tuple(obs.arg_tuple_lens),
             kw_dims=tuple(sorted(obs.kw_dims.items())),
             result_context=obs.result_context,
+            obs_guarded=obs.obs_guarded,
+            result_used=obs.result_used,
+            result_target=obs.result_target,
         ))
 
     decorators = _decorator_names(func)
@@ -328,5 +336,7 @@ def extract_summary(path: str, source: str, tree: ast.Module,
                 qualname=f"{norm}::<module>", name="<module>", line=1,
                 is_method=False, params=(), return_dim=UNKNOWN,
                 calls=info.calls))
+
+    summary.module_effects = extract_module_effects(norm, source, tree)
 
     return summary

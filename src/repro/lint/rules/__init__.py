@@ -6,6 +6,7 @@ Importing this package registers every rule with the registry in
 
 from __future__ import annotations
 
+from repro.lint.rules.cache_soundness import CacheSoundnessRule
 from repro.lint.rules.config_deadness import ConfigDeadnessRule
 from repro.lint.rules.determinism import DeterminismRule
 from repro.lint.rules.event_queue import EventQueueRule
@@ -13,9 +14,13 @@ from repro.lint.rules.float_equality import FloatEqualityRule
 from repro.lint.rules.fsm_legality import FsmLegalityRule
 from repro.lint.rules.interprocedural import InterproceduralUnitRule
 from repro.lint.rules.ledger import EnergyLedgerRule
+from repro.lint.rules.obs_neutrality import ObsNeutralityRule
+from repro.lint.rules.picklable import PicklablePayloadRule
 from repro.lint.rules.unit_safety import UnitSafetyRule
+from repro.lint.rules.worker_purity import WorkerPurityRule
 
 __all__ = [
+    "CacheSoundnessRule",
     "ConfigDeadnessRule",
     "DeterminismRule",
     "EnergyLedgerRule",
@@ -23,5 +28,8 @@ __all__ = [
     "FloatEqualityRule",
     "FsmLegalityRule",
     "InterproceduralUnitRule",
+    "ObsNeutralityRule",
+    "PicklablePayloadRule",
     "UnitSafetyRule",
+    "WorkerPurityRule",
 ]

@@ -1,0 +1,100 @@
+"""CACHE01 — cache-key soundness.
+
+The result cache (:mod:`repro.exec.cache`) addresses every simulation by
+``sha256(simulation-source digest ; JobSpec key)``: the digest covers the
+*source* of every module under ``repro`` except ``repro/lint``, and the
+spec key covers every declared input.  That key is sound only if nothing
+else can influence a result.  Three inputs are invisible to it and are
+therefore stale-cache hazards anywhere in the digest-set scope:
+
+1. **Environment reads** — ``os.environ`` / ``os.getenv`` values change
+   between runs without changing any hashed byte, so two runs with the
+   same key could compute different results (and the second is served the
+   first's numbers).
+
+2. **Mutable module globals** — a module-level dict/list/set (or a
+   ``global``-rebound name) mutated after import carries state from one
+   simulation into the next within a process; the digest hashed the
+   empty initial literal, not the accumulated contents.
+
+3. **Class-level mutable attributes** — a ``cache = {}`` in a class body
+   is shared by every instance: the same cross-simulation leak with an
+   extra level of indirection.
+
+A deliberate, content-pure memo (a value derived entirely from the
+payload or the hashed source tree, e.g. a per-process trace store) is
+declared on its definition line with ``# mapglint: declared-cache``,
+which is the author's auditable claim that it cannot change any result.
+Import-time initialization (the ``<module>`` body) is exempt for global
+writes: whatever it computes is a pure function of the hashed source.
+"""
+
+from __future__ import annotations
+
+from repro.lint.base import ProjectRule, register_project_rule
+from repro.lint.findings import Severity
+from repro.lint.project.effects import ENV, GLOBAL_READ, GLOBAL_WRITE
+from repro.lint.project.graph import ProjectModel, in_repro, is_test_path
+
+
+def in_digest_scope(path: str) -> bool:
+    """Whether a file is hashed into the simulation-source digest
+    (everything under ``repro`` except ``repro/lint``; tests excluded)."""
+    if is_test_path(path) or not in_repro(path):
+        return False
+    return "repro/lint" not in path.replace("\\", "/")
+
+
+@register_project_rule
+class CacheSoundnessRule(ProjectRule):
+    rule_id = "CACHE01"
+    summary = ("no simulation input invisible to the result-cache key: "
+               "env reads, post-import mutable module globals, and "
+               "class-level caches in digest-set code are stale-cache "
+               "hazards (declare content-pure memos with "
+               "'# mapglint: declared-cache')")
+    default_severity = Severity.ERROR
+
+    def run(self, model: "object") -> None:
+        assert isinstance(model, ProjectModel)
+        for summary in model.summaries:
+            if not in_digest_scope(summary.path):
+                continue
+            effects = summary.module_effects
+            if effects is None:
+                continue
+            for info in effects.functions:
+                for effect in info.effects:
+                    self._check_effect(summary.path, info.name, effect)
+            for attr in effects.class_mutable_attrs:
+                self.report(
+                    summary.path, attr.line, attr.col,
+                    f"class-level mutable attribute "
+                    f"'{attr.class_name}.{attr.attr}' is shared by every "
+                    f"instance and invisible to the result-cache key; move "
+                    f"it into __init__, or mark the definition "
+                    f"'# mapglint: declared-cache' if it provably cannot "
+                    f"change any result",
+                    line_text=attr.line_text)
+
+    def _check_effect(self, path: str, func_name: str, effect) -> None:
+        if effect.kind == ENV:
+            self.report(
+                path, effect.line, effect.col,
+                f"{effect.detail} inside digest-set code; environment "
+                f"values are invisible to the result-cache key, so cached "
+                f"results go stale when they change — thread the value "
+                f"through a JobSpec/config field instead",
+                line_text=effect.line_text)
+        elif effect.kind in (GLOBAL_READ, GLOBAL_WRITE):
+            if func_name == "<module>":
+                return  # import-time init is a pure function of the digest
+            self.report(
+                path, effect.line, effect.col,
+                f"{effect.detail} inside digest-set code; post-import "
+                f"global state is invisible to the result-cache key and "
+                f"leaks between simulations in one process — pass the "
+                f"value explicitly, or mark the definition "
+                f"'# mapglint: declared-cache' if it is a content-pure "
+                f"memo",
+                line_text=effect.line_text)

@@ -1,0 +1,136 @@
+"""OBS01 — observability neutrality.
+
+The observability layer (:mod:`repro.obs`) is "free when disabled" and,
+more importantly, *inert*: golden traces are bit-identical with the
+recorder on or off.  Two statically checkable obligations keep it that
+way in simulation code:
+
+1. **Guarded emission** — every recorder/metrics call (``span``,
+   ``instant``, ``sample``, ``clear``, ``inc``, ``observe``, ``set``,
+   ``add``, and the ``counter``/``gauge``/``histogram`` get-or-create
+   calls) must sit under the ``enabled`` fast-path: inside
+   ``if X.enabled:`` (compound ``and`` conditions count) or after an
+   ``if not X.enabled: return`` early exit.  A private helper whose every
+   non-test call site is itself guarded inherits the guard — the pattern
+   ``if self._obs.enabled: self._observe_stall(...)`` hoists one check
+   over many emissions.
+
+2. **No flow back** — no value produced by an observability object may
+   reach simulation state: a recorder/metrics call whose result is
+   consumed may only bind an observability handle (``self._m_*``,
+   ``*_obs``, ``metrics``, ``recorder``).  Anything else routes observed
+   data into the very numbers being observed, and the golden-equality
+   property dies silently.
+
+Observability receivers are recognized by naming convention — a receiver
+whose final segment is ``metrics``, contains ``recorder``, or starts with
+``_m_``/``_obs`` — the same convention the instrumented code already
+follows (``self._obs``, ``self._m_segments``, ``metrics.counter``).
+``repro/obs`` itself is out of scope (the recorder may of course call
+its own methods), as are tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.lint.base import ProjectRule, register_project_rule
+from repro.lint.findings import Severity
+from repro.lint.project.graph import ProjectModel, in_repro, is_test_path
+from repro.lint.project.summary import CallSite, FunctionInfo
+
+_EMISSION_METHODS = frozenset({
+    "span", "instant", "sample", "clear", "inc", "observe", "set", "add",
+    "counter", "gauge", "histogram",
+})
+
+_ALLOWED_TARGET_PREFIXES = ("_m_", "_obs")
+_ALLOWED_TARGET_NAMES = frozenset({"metrics", "recorder"})
+
+
+def _receiver_tail(receiver: str) -> str:
+    return receiver.rsplit(".", 1)[-1] if receiver else ""
+
+
+def is_obs_receiver(receiver: str) -> bool:
+    """Whether a dotted receiver names an observability handle."""
+    tail = _receiver_tail(receiver)
+    if not tail:
+        return False
+    lowered = tail.lower()
+    if "recorder" in lowered or lowered in _ALLOWED_TARGET_NAMES:
+        return True
+    return any(tail.startswith(prefix)
+               for prefix in _ALLOWED_TARGET_PREFIXES)
+
+
+def _is_allowed_target(target: str) -> bool:
+    tail = _receiver_tail(target)
+    if not tail:
+        return False
+    if tail in _ALLOWED_TARGET_NAMES:
+        return True
+    return any(tail.startswith(prefix)
+               for prefix in _ALLOWED_TARGET_PREFIXES)
+
+
+@register_project_rule
+class ObsNeutralityRule(ProjectRule):
+    rule_id = "OBS01"
+    summary = ("recorder/metrics emission must sit under the 'enabled' "
+               "fast-path, and no observability value may flow into "
+               "simulation state")
+    default_severity = Severity.ERROR
+
+    def run(self, model: "object") -> None:
+        assert isinstance(model, ProjectModel)
+        for summary in model.summaries:
+            path = summary.path
+            if is_test_path(path) or not in_repro(path):
+                continue
+            norm = path.replace("\\", "/")
+            if "repro/obs" in norm or "repro/lint" in norm:
+                continue
+            for function in summary.functions:
+                for call in function.calls:
+                    self._check_call(model, path, function, call)
+
+    def _check_call(self, model: ProjectModel, path: str,
+                    function: FunctionInfo, call: CallSite) -> None:
+        if not is_obs_receiver(call.receiver):
+            return
+        if call.name in _EMISSION_METHODS and not call.obs_guarded and \
+                not self._caller_guarded(model, function):
+            self.report(
+                path, call.line, call.col,
+                f"unguarded observability call "
+                f"{call.receiver}.{call.name}(); emission must sit under "
+                f"'if <recorder>.enabled:' (or after an "
+                f"'if not <recorder>.enabled: return') so disabled runs "
+                f"pay a single attribute check",
+                line_text=call.line_text)
+        if call.result_used and not _is_allowed_target(call.result_target):
+            where = (f"assigned to '{call.result_target}'"
+                     if call.result_target else "consumed by simulation "
+                     "code")
+            self.report(
+                path, call.line, call.col,
+                f"value of {call.receiver}.{call.name}() is {where}; "
+                f"observability output must never flow into simulation "
+                f"state or the EnergyLedger (only *_obs/_m_*/metrics/"
+                f"recorder bindings may hold it) — golden traces must be "
+                f"bit-identical with the recorder on or off",
+                line_text=call.line_text)
+
+    @staticmethod
+    def _caller_guarded(model: ProjectModel, function: FunctionInfo) -> bool:
+        """A private helper inherits the guard when every non-test call
+        site invoking its name is itself under an ``enabled`` guard."""
+        if not function.name.startswith("_"):
+            return False
+        callers: List[Tuple[FunctionInfo, CallSite]] = [
+            (info, call) for info, call in model.callers_of(function.name)
+            if not is_test_path(info.qualname.split("::", 1)[0])]
+        if not callers:
+            return False
+        return all(call.obs_guarded for _, call in callers)

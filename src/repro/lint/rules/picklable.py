@@ -1,0 +1,94 @@
+"""PAR01 — pool payloads must be plain-picklable.
+
+``SweepRunner`` uses the ``spawn`` start method on purpose: workers get a
+fresh interpreter, so nothing leaks between cells.  Spawn pickles the
+worker callable and every submitted argument, which rules out four
+shapes that fork would silently tolerate:
+
+1. **Lambdas** — not picklable at all; submission dies at runtime (and
+   only when the parallel path is actually taken, so tests at
+   ``jobs=1`` never see it).
+2. **Bound methods** (``self.method`` / ``cls.method``) — pickling drags
+   the whole instance across the process boundary: slow at best, a
+   hidden shared-state copy at worst.
+3. **Closures** (functions defined inside another function) — not
+   picklable; workers must be module-level, like
+   ``repro.exec.engine._execute_payload``.
+4. **Open handles in arguments** — a file object in a payload cannot
+   cross the boundary; pass paths and reopen in the worker.
+
+Everything here is a *shape* fact recorded by phase 1
+(:class:`~repro.lint.project.effects.PoolSubmission`); no call
+resolution is needed, so the rule fires even on names it cannot
+resolve.
+"""
+
+from __future__ import annotations
+
+from repro.lint.base import ProjectRule, register_project_rule
+from repro.lint.findings import Severity
+from repro.lint.project.graph import ProjectModel, in_repro, is_test_path
+
+
+@register_project_rule
+class PicklablePayloadRule(ProjectRule):
+    rule_id = "PAR01"
+    summary = ("pool payloads must be plain-picklable: no lambdas, bound "
+               "methods, closures, or open handles in submitted work")
+    default_severity = Severity.ERROR
+
+    def run(self, model: "object") -> None:
+        assert isinstance(model, ProjectModel)
+        for summary in model.summaries:
+            if is_test_path(summary.path) or not in_repro(summary.path):
+                continue
+            effects = summary.module_effects
+            if effects is None:
+                continue
+            for submission in effects.pool_submissions:
+                self._check_submission(summary.path, submission,
+                                       effects.nested_functions)
+
+    def _check_submission(self, path: str, submission,
+                          nested_functions) -> None:
+        worker = submission.worker_repr or submission.worker_name or \
+            "worker"
+        if submission.worker_kind == "lambda":
+            self.report(
+                path, submission.line, submission.col,
+                f"lambda submitted to {submission.method}() is not "
+                f"picklable under the spawn start method; define a "
+                f"module-level function and submit that",
+                line_text=submission.line_text)
+        elif submission.worker_kind == "attribute" and \
+                submission.worker_repr.split(".", 1)[0] in ("self", "cls"):
+            self.report(
+                path, submission.line, submission.col,
+                f"bound method {worker} submitted to "
+                f"{submission.method}() pickles its whole instance into "
+                f"every worker; submit a module-level function and pass "
+                f"the needed state as plain data",
+                line_text=submission.line_text)
+        elif submission.worker_kind == "name" and \
+                submission.worker_name in nested_functions:
+            self.report(
+                path, submission.line, submission.col,
+                f"closure {worker} submitted to {submission.method}() is "
+                f"not picklable under spawn; hoist it to module level "
+                f"(closures capture enclosing state that cannot cross "
+                f"the process boundary)",
+                line_text=submission.line_text)
+        if submission.lambda_in_args:
+            self.report(
+                path, submission.line, submission.col,
+                f"lambda inside the arguments of {submission.method}() "
+                f"cannot be pickled to a spawn worker; pass plain data "
+                f"and rebuild callables worker-side",
+                line_text=submission.line_text)
+        if submission.open_in_args:
+            self.report(
+                path, submission.line, submission.col,
+                f"open file handle in the arguments of "
+                f"{submission.method}() cannot cross the process "
+                f"boundary; pass the path and open it in the worker",
+                line_text=submission.line_text)

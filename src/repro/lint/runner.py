@@ -135,10 +135,9 @@ def run_project_rules(summaries: Sequence[ModuleSummary],
     for rule_class in all_project_rules():
         if wanted is not None and rule_class.rule_id not in wanted:
             continue
-        for finding in rule_class().check_project(model):
-            if not model.is_suppressed(finding.path, finding.rule_id,
-                                       finding.line):
-                findings.append(finding)
+        # check_project applies per-line suppressions itself (same filter
+        # as LintRule.check), so every caller gets identical behavior.
+        findings.extend(rule_class().check_project(model))
     return findings
 
 

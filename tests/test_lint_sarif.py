@@ -27,6 +27,14 @@ class TestSarifShape:
             assert rule["shortDescription"]["text"]
             assert rule["defaultConfiguration"]["level"] in ("error", "warning")
 
+    def test_effect_rules_are_in_the_inventory(self):
+        # The registry drives the driver block, but the effect rules are
+        # load-bearing for code scanning: pin them by name.
+        log = to_sarif([])
+        ids = {r["id"] for r in log["runs"][0]["tool"]["driver"]["rules"]}
+        assert {"CACHE01", "PURE01", "OBS01", "PAR01"} <= ids
+        assert {"CACHE01", "PURE01", "OBS01", "PAR01"} <= set(all_rule_ids())
+
     def test_rule_subset_restricts_the_inventory(self):
         log = to_sarif([], rule_ids=["UNIT02", "CFG01"])
         rules = log["runs"][0]["tool"]["driver"]["rules"]
