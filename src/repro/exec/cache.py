@@ -25,6 +25,7 @@ import dataclasses
 import hashlib
 import json
 import os
+import threading
 from typing import Any, Dict, Optional
 
 from repro.exec.jobspec import JobSpec
@@ -86,9 +87,16 @@ class ResultCache:
         return result
 
     def store(self, spec: JobSpec, result: SimulationResult) -> None:
-        """Atomically persist one result; I/O failures are ignored."""
+        """Atomically persist one result; I/O failures are ignored.
+
+        The temp name carries pid and thread ident so concurrent sweeps
+        (and future in-process worker threads) can never interleave into
+        one temp file; a temp file that vanishes before the replace
+        means a concurrent writer already published the identical entry.
+        """
         entry_path = self._entry_path(self.key(spec))
-        tmp_path = f"{entry_path}.{os.getpid()}.tmp"
+        tmp_path = (f"{entry_path}.{os.getpid()}."
+                    f"{threading.get_ident()}.tmp")
         payload = {
             "schema": RESULT_SCHEMA,
             "spec": spec.canonical(),
@@ -99,12 +107,24 @@ class ResultCache:
             with open(tmp_path, "w", encoding="utf-8") as handle:
                 json.dump(payload, handle, sort_keys=True,
                           separators=(",", ":"))
-            os.replace(tmp_path, entry_path)
         except OSError:
-            try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
+            self._discard(tmp_path)
+            return
+        try:
+            os.replace(tmp_path, entry_path)
+        except FileNotFoundError:
+            # The temp file vanished (concurrent cleaner, unlinked tree):
+            # some writer already published the identical entry.
+            self._discard(tmp_path)
+        except OSError:
+            self._discard(tmp_path)
+
+    @staticmethod
+    def _discard(tmp_path: str) -> None:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
 
     def _ensure_dir(self, directory: str) -> None:
         os.makedirs(directory, exist_ok=True)

@@ -27,6 +27,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import threading
 from typing import Dict, List, Optional, Tuple
 
 from repro.lint.findings import Finding
@@ -101,20 +102,43 @@ class ResultCache:
 
     def store(self, key: str, findings: List[Finding],
               summary: ModuleSummary) -> None:
-        """Atomically persist one phase-1 result; failures are ignored."""
+        """Atomically persist one phase-1 result; failures are ignored.
+
+        Concurrent lint invocations share the cache directory by design:
+        entries are content-addressed, so when two runs race on one key,
+        whichever ``os.replace`` lands last wins with identical bytes.
+        The temp name carries pid *and* thread ident so no two writers
+        can ever interleave into one temp file, and a temp file that
+        vanishes before the replace (a concurrent cleaner, an unlinked
+        tree) means some writer already published — a no-op, not an
+        error.
+        """
         entry_path = self._entry_path(key)
-        tmp_path = f"{entry_path}.{os.getpid()}.tmp"
+        tmp_path = (f"{entry_path}.{os.getpid()}."
+                    f"{threading.get_ident()}.tmp")
         try:
             self._ensure_dir(os.path.dirname(entry_path))
             with open(tmp_path, "wb") as handle:
                 pickle.dump({"findings": findings, "summary": summary},
                             handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp_path, entry_path)
         except OSError:
-            try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
+            self._discard(tmp_path)
+            return
+        try:
+            os.replace(tmp_path, entry_path)
+        except FileNotFoundError:
+            # The temp file vanished (concurrent cleaner, unlinked tree):
+            # some writer already published the identical entry.
+            self._discard(tmp_path)
+        except OSError:
+            self._discard(tmp_path)
+
+    @staticmethod
+    def _discard(tmp_path: str) -> None:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
 
     def _ensure_dir(self, directory: str) -> None:
         os.makedirs(directory, exist_ok=True)

@@ -26,8 +26,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro.lint",
         description="mapglint: MAPG-specific static analysis "
                     "(unit safety, determinism, FSM legality, float "
-                    "equality, and whole-program unit/ledger/config/event "
-                    "checks)")
+                    "equality, and whole-program unit/ledger/config/event/"
+                    "effect/concurrency checks)")
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
     parser.add_argument("--format", choices=("text", "json", "sarif"),

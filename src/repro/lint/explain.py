@@ -76,6 +76,37 @@ _EXAMPLES: Dict[str, Tuple[str, str]] = {
         "pool.map(lambda x: x + 1, items)   # lambdas do not pickle",
         "pool.map(_scale_item, items)       # module-level function",
     ),
+    "CONC01": (
+        "_STATE = {}  # mapglint: guarded-by=_LOCK\n"
+        "def _watcher():\n"
+        "    _STATE['tick'] += 1     # guarded field, no lock held",
+        "_STATE = {}  # mapglint: guarded-by=_LOCK\n"
+        "def _watcher():\n"
+        "    with _LOCK:\n"
+        "        _STATE['tick'] += 1  # binding lock held at the write",
+    ),
+    "CONC02": (
+        "lock.acquire()\n"
+        "do_work()                   # an exception leaks the lock\n"
+        "lock.release()",
+        "with lock:\n"
+        "    do_work()               # released on every exit edge",
+    ),
+    "CONC03": (
+        "with state_lock:\n"
+        "    pool.map(_worker, cells)   # submission under a held lock",
+        "pool.map(_worker, cells)\n"
+        "with state_lock:\n"
+        "    merge(results)             # lock around the merge only",
+    ),
+    "CONC04": (
+        "with open(entry_path, 'wb') as fh:\n"
+        "    fh.write(payload)       # readers can see the torn entry",
+        "tmp = f'{entry_path}.{os.getpid()}.tmp'\n"
+        "with open(tmp, 'wb') as fh:\n"
+        "    fh.write(payload)\n"
+        "os.replace(tmp, entry_path)  # atomic publication",
+    ),
 }
 
 

@@ -38,6 +38,24 @@ declared on its definition line::
 Declared caches produce no global-read/global-write effects; the
 declaration is the author's auditable claim that the memo cannot change
 any result, placed where a reviewer will see it.
+
+Since the worker-pool and daemon roadmap items make the repo genuinely
+concurrent, phase 1 also extracts a **concurrency model**:
+
+* **spawn sites** — thread and async-task entry points
+  (``threading.Thread(target=...)``, ``asyncio.create_task``); together
+  with the pool submissions already recorded, these are the roots from
+  which concurrent execution can reach shared state (CONC01, CONC03);
+* **lock structure** — lock-typed module globals, every ``with lock:``
+  block, and bare ``acquire``/``release`` calls with their control-flow
+  context (CONC02), plus the statically-known set of locks held at each
+  write site;
+* **guarded fields** — a ``# mapglint: guarded-by=<lock>`` pragma on a
+  definition line binds a module global or instance attribute to the
+  lock that must be held to write it (CONC01);
+* **persistence writes** — every write-mode ``open`` with its path
+  spelling, so digest-keyed cache entries can be required to use the
+  temp-file + ``os.replace`` publication pattern (CONC04).
 """
 
 from __future__ import annotations
@@ -52,7 +70,7 @@ from repro.lint.project.dimensions import dotted_name
 #: Bump when the effect-summary layout or inference changes; folded into
 #: the result-cache key (see :mod:`repro.lint.cache`) so upgrading the
 #: linter can never serve stale phase-1 effect summaries.
-EFFECT_SCHEMA = 1
+EFFECT_SCHEMA = 2
 
 # ---- the effect alphabet ---------------------------------------------------
 
@@ -64,10 +82,14 @@ PROCESS = "process"            # process/pool management, pids
 GLOBAL_WRITE = "global-write"  # post-import mutation of a module global
 GLOBAL_READ = "global-read"    # read of a post-import-mutated module global
 OBS_EMIT = "obs-emit"          # recorder/metrics emission (from call sites)
+THREAD = "thread-spawn"        # thread/async-task creation (CONC03)
+LOCK = "lock-acquire"          # lock acquisition, with-block or bare call
+GUARDED_WRITE = "guarded-write"    # write to a guarded-by bound symbol
+SHARED_WRITE = "shared-attr-write"  # mutation of a class-level mutable attr
 
 #: Every effect kind phase 1 can emit, in display order.
 ALL_EFFECTS = (ENV, FS, RNG, CLOCK, PROCESS, GLOBAL_WRITE, GLOBAL_READ,
-               OBS_EMIT)
+               OBS_EMIT, THREAD, LOCK, GUARDED_WRITE, SHARED_WRITE)
 
 #: The kinds that make a pool worker impure (PURE01) — everything except
 #: recorder emission, which workers never see (recorders are per-process).
@@ -77,6 +99,12 @@ IMPURE_KINDS = frozenset({ENV, FS, RNG, CLOCK, PROCESS,
 #: The kinds that make a cached simulation result stale-prone (CACHE01):
 #: inputs the JobSpec/source digest cannot see.
 CACHE_HAZARD_KINDS = frozenset({ENV, GLOBAL_WRITE, GLOBAL_READ})
+
+#: The concurrency kinds.  Deliberately *not* part of IMPURE_KINDS or
+#: CACHE_HAZARD_KINDS: they have dedicated rules (CONC01/CONC03) with
+#: their own reachability conditions, and folding them into PURE01 or
+#: CACHE01 would double-report every finding.
+CONCURRENCY_KINDS = frozenset({THREAD, LOCK, GUARDED_WRITE, SHARED_WRITE})
 
 
 @dataclass(frozen=True)
@@ -89,6 +117,7 @@ class Effect:
     col: int
     line_text: str = ""
     symbol: str = ""           # the global/attr involved, when applicable
+    locks_held: Tuple[str, ...] = ()  # with-blocks enclosing the site
 
 
 @dataclass(frozen=True)
@@ -127,6 +156,62 @@ class PoolSubmission:
     line_text: str = ""
     lambda_in_args: bool = False
     open_in_args: bool = False
+    locks_held: Tuple[str, ...] = ()  # locks held at the submission site
+
+
+@dataclass(frozen=True)
+class SpawnSite:
+    """One thread or async-task creation site (a concurrent entry point)."""
+
+    kind: str                  # "thread" | "task"
+    api: str                   # source spelling ("threading.Thread", ...)
+    worker_kind: str           # "name" | "lambda" | "attribute" | "other"
+    worker_name: str           # bare name when worker_kind == "name"
+    worker_repr: str           # source spelling of the worker expression
+    in_function: str           # qualname of the enclosing function
+    line: int
+    col: int
+    line_text: str = ""
+
+
+@dataclass(frozen=True)
+class LockOp:
+    """One lock operation: a ``with lock:`` block or a bare acquire/release."""
+
+    op: str                    # "with" | "acquire" | "release"
+    lock: str                  # dotted lock spelling ("self._lock")
+    function: str              # qualname of the enclosing function
+    line: int
+    col: int
+    line_text: str = ""
+    conditional: bool = False  # under an if/while/for/except branch
+    in_finally: bool = False   # directly inside a finally block
+    held_before: Tuple[str, ...] = ()  # locks already held (order pairs)
+
+
+@dataclass(frozen=True)
+class GuardedBinding:
+    """One ``# mapglint: guarded-by=<lock>`` field-to-lock binding."""
+
+    symbol: str                # global name or attribute name ("_metrics")
+    lock: str                  # dotted lock spelling that must be held
+    scope: str                 # "global" | "attr"
+    line: int
+    col: int
+    line_text: str = ""
+
+
+@dataclass(frozen=True)
+class FileWrite:
+    """One write-mode ``open`` call (a persistence write site)."""
+
+    path_repr: str             # source spelling of the path expression
+    mode: str                  # the mode string ("w", "wb", "a", ...)
+    in_function: str           # qualname of the enclosing function
+    line: int
+    col: int
+    line_text: str = ""
+    replace_in_function: bool = False  # os.replace() in the same function
 
 
 @dataclass(frozen=True)
@@ -141,11 +226,41 @@ class ModuleEffects:
     mutated_globals: FrozenSet[str] = frozenset()
     declared_caches: FrozenSet[str] = frozenset()
     nested_functions: FrozenSet[str] = frozenset()
+    spawn_sites: Tuple[SpawnSite, ...] = ()
+    lock_ops: Tuple[LockOp, ...] = ()
+    guarded_bindings: Tuple[GuardedBinding, ...] = ()
+    file_writes: Tuple[FileWrite, ...] = ()
+    lock_globals: FrozenSet[str] = frozenset()
 
 
 # ---- detection tables ------------------------------------------------------
 
 _DECLARED_CACHE_RE = re.compile(r"#\s*mapglint:\s*declared-cache\b")
+
+_GUARDED_BY_RE = re.compile(
+    r"#\s*mapglint:\s*guarded-by=([A-Za-z_][A-Za-z0-9_.]*)")
+
+#: Constructors whose result is a lock object.
+_LOCK_FACTORIES = frozenset({"Lock", "RLock", "Condition", "Semaphore",
+                             "BoundedSemaphore"})
+
+#: Name segments marking a receiver as lock-like (``self._lock``,
+#: ``_CACHE_MUTEX``, ``state_cond`` ...).  Matching by spelling keeps the
+#: model honest about what it can know statically; locks the convention
+#: cannot name should be renamed, not special-cased.  Segments are
+#: underscore-split words of the dotted tail: ``blocked_cycles`` has no
+#: lock segment, ``cache_lock`` does.
+_LOCK_NAME_HINTS = frozenset({"mutex", "sem", "semaphore", "cond",
+                              "condition"})
+
+#: ``*lock`` segments that are not locks (a clock is a clock).
+_NOT_A_LOCK = frozenset({"clock", "block", "unblock"})
+
+#: Thread/async-task creation: the task-spawning attribute calls.
+_TASK_SPAWN_FUNCS = frozenset({"create_task", "ensure_future",
+                               "run_coroutine_threadsafe"})
+
+_WRITE_MODE_CHARS = frozenset("wax+")
 
 _WALL_CLOCK = {
     "time": frozenset({"time", "time_ns", "perf_counter", "perf_counter_ns",
@@ -210,6 +325,101 @@ def parse_declared_caches(source: str) -> Set[int]:
     return lines
 
 
+def parse_guarded_pragmas(source: str) -> Dict[int, str]:
+    """``line -> lock`` for every ``# mapglint: guarded-by=<lock>`` pragma."""
+    pragmas: Dict[int, str] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _GUARDED_BY_RE.search(line)
+        if match:
+            pragmas[lineno] = match.group(1)
+    return pragmas
+
+
+def is_lock_name(dotted: str) -> bool:
+    """Whether a dotted spelling denotes a lock by naming convention."""
+    tail = dotted.rsplit(".", 1)[-1].lower()
+    for segment in re.split(r"[^a-z0-9]+", tail):
+        if segment in _LOCK_NAME_HINTS:
+            return True
+        if segment.endswith("lock") and segment not in _NOT_A_LOCK:
+            return True
+    return False
+
+
+def _extract_guarded_bindings(tree: ast.Module, lines: List[str],
+                              pragmas: Dict[int, str]
+                              ) -> List[GuardedBinding]:
+    """Resolve each guarded-by pragma to the symbol its line defines.
+
+    A pragma on a module-level ``X = ...`` binds the global ``X``; on a
+    class-body or ``self.X = ...`` definition it binds the attribute
+    ``X`` (any receiver — attribute bindings are matched by name within
+    the defining module).
+    """
+    if not pragmas:
+        return []
+    bindings: List[GuardedBinding] = []
+    module_level = {id(stmt) for stmt in tree.body}
+
+    def record(target: ast.AST, stmt: ast.stmt) -> None:
+        lock = pragmas.get(stmt.lineno)
+        if lock is None:
+            return
+        if isinstance(target, ast.Attribute):
+            symbol, scope = target.attr, "attr"
+        elif isinstance(target, ast.Name):
+            scope = "global" if id(stmt) in module_level else "attr"
+            symbol = target.id
+        else:
+            return
+        bindings.append(GuardedBinding(
+            symbol=symbol, lock=lock, scope=scope, line=stmt.lineno,
+            col=stmt.col_offset + 1,
+            line_text=_line_text(lines, stmt.lineno)))
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                record(target, node)
+        elif isinstance(node, ast.AnnAssign):
+            record(node.target, node)
+    return bindings
+
+
+class _LockSpans:
+    """Line ranges over which each lock-like ``with`` item is held.
+
+    Built once per function body; ``held_at(line)`` answers which locks
+    statically enclose a site.  The context expressions themselves are
+    evaluated before acquisition, so a ``with`` item's own line counts as
+    held only when the block's body starts on that same line.
+    """
+
+    def __init__(self, body: List[ast.stmt]) -> None:
+        self._spans: List[Tuple[int, int, str]] = []
+        for stmt in body:
+            self._collect(stmt)
+
+    def _collect(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            return  # nested defs are analyzed as functions of their own
+        if isinstance(node, (ast.With, ast.AsyncWith)) and node.body:
+            start = node.body[0].lineno
+            end = getattr(node, "end_lineno", None) or start
+            for item in node.items:
+                name = dotted_name(item.context_expr)
+                if name and is_lock_name(name):
+                    self._spans.append((start, end, name))
+        for child in ast.iter_child_nodes(node):
+            self._collect(child)
+
+    def held_at(self, line: int) -> Tuple[str, ...]:
+        held = [name for start, end, name in self._spans
+                if start <= line <= end]
+        return tuple(dict.fromkeys(held))
+
+
 def _is_mutable_value(node: ast.AST) -> bool:
     if isinstance(node, _MUTABLE_VALUE_NODES):
         return True
@@ -251,16 +461,36 @@ class _EffectVisitor(ast.NodeVisitor):
     some function mutates after import).  Names the function rebinds
     locally (without a ``global`` declaration) shadow the module binding
     and are excluded by the caller.
+
+    The concurrency extension: ``guard_globals``/``guard_attrs`` map
+    guarded-by-bound symbols to their lock, ``attr_watch`` holds the
+    mutable class-body attribute names whose instance/class mutation is a
+    :data:`SHARED_WRITE`, and ``lock_spans`` supplies the statically-held
+    lock set attached to every emitted effect.  ``emit_guarded`` is off
+    inside ``__init__``/``__new__`` (and at module level), where writing a
+    guarded field *is* its initialization.
     """
 
     def __init__(self, lines: List[str], source: str,
                  write_watch: FrozenSet[str], read_watch: FrozenSet[str],
-                 global_decls: FrozenSet[str]) -> None:
+                 global_decls: FrozenSet[str],
+                 guard_globals: Optional[Dict[str, str]] = None,
+                 guard_attrs: Optional[Dict[str, str]] = None,
+                 attr_watch: FrozenSet[str] = frozenset(),
+                 guard_def_lines: FrozenSet[int] = frozenset(),
+                 lock_spans: Optional[_LockSpans] = None,
+                 emit_guarded: bool = True) -> None:
         self.lines = lines
         self.source = source
         self.write_watch = write_watch
         self.read_watch = read_watch
         self.global_decls = global_decls
+        self.guard_globals = guard_globals or {}
+        self.guard_attrs = guard_attrs or {}
+        self.attr_watch = attr_watch
+        self.guard_def_lines = guard_def_lines
+        self.lock_spans = lock_spans
+        self.emit_guarded = emit_guarded
         self.effects: List[Effect] = []
 
     # -- helpers -----------------------------------------------------------
@@ -268,10 +498,12 @@ class _EffectVisitor(ast.NodeVisitor):
     def _emit(self, kind: str, node: ast.AST, detail: str,
               symbol: str = "") -> None:
         line = getattr(node, "lineno", 1)
+        held = self.lock_spans.held_at(line) if self.lock_spans else ()
         self.effects.append(Effect(
             kind=kind, detail=detail, line=line,
             col=getattr(node, "col_offset", 0) + 1,
-            line_text=_line_text(self.lines, line), symbol=symbol))
+            line_text=_line_text(self.lines, line), symbol=symbol,
+            locks_held=held))
 
     # -- env ----------------------------------------------------------------
 
@@ -298,12 +530,43 @@ class _EffectVisitor(ast.NodeVisitor):
             subscripted = True
         if isinstance(base, ast.Name):
             name = base.id
-            if name not in self.write_watch:
-                return
-            if subscripted or name in self.global_decls:
+            is_global_write = subscripted or name in self.global_decls
+            if name in self.write_watch and is_global_write:
                 verb = ("mutates" if subscripted else "rebinds")
                 self._emit(GLOBAL_WRITE, node,
                            f"{verb} module global '{name}'", symbol=name)
+            if is_global_write:
+                self._check_guarded_global(name, node)
+        elif isinstance(base, ast.Attribute):
+            self._check_attr_write(base.attr, node, subscripted)
+
+    def _check_guarded_global(self, name: str, node: ast.AST) -> None:
+        if not self.emit_guarded or name not in self.guard_globals or \
+                getattr(node, "lineno", 0) in self.guard_def_lines:
+            return
+        self._emit(GUARDED_WRITE, node,
+                   f"writes guarded global '{name}' "
+                   f"(guarded-by={self.guard_globals[name]})", symbol=name)
+
+    def _check_attr_write(self, attr: str, node: ast.AST,
+                          subscripted: bool) -> None:
+        """A write through ``<recv>.<attr>`` — guarded field or shared attr.
+
+        Guarded attributes are matched by name whatever the receiver
+        spelling (``self._metrics`` vs ``registry._metrics``); class-body
+        mutable attrs only count when mutated in place (rebinding an
+        instance attribute shadows the class attribute instead).
+        """
+        if getattr(node, "lineno", 0) in self.guard_def_lines:
+            return
+        if self.emit_guarded and attr in self.guard_attrs:
+            self._emit(GUARDED_WRITE, node,
+                       f"writes guarded attribute '{attr}' "
+                       f"(guarded-by={self.guard_attrs[attr]})", symbol=attr)
+        elif subscripted and attr in self.attr_watch:
+            self._emit(SHARED_WRITE, node,
+                       f"mutates class-level mutable attribute '{attr}'",
+                       symbol=attr)
 
     def visit_Assign(self, node: ast.Assign) -> None:
         for target in node.targets:
@@ -344,6 +607,8 @@ class _EffectVisitor(ast.NodeVisitor):
             self._emit(ENV, node, "getenv() reads the environment")
         elif name in ("Pool", "Process"):
             self._emit(PROCESS, node, f"{name}() manages processes")
+        elif name in ("Thread", "Timer"):
+            self._emit(THREAD, node, f"{name}() spawns a thread")
 
     def _check_attr_call(self, node: ast.Call, func: ast.Attribute) -> None:
         base = _call_base(func)
@@ -378,14 +643,59 @@ class _EffectVisitor(ast.NodeVisitor):
         elif base in ("np.random", "numpy.random"):
             self._emit(RNG, node,
                        f"{rendering}() draws from the global NumPy RNG")
+        elif base == "threading" and attr in ("Thread", "Timer"):
+            self._emit(THREAD, node, f"{rendering}() spawns a thread")
+        elif attr in _TASK_SPAWN_FUNCS:
+            self._emit(THREAD, node, f"{rendering}() spawns an async task")
+        elif attr == "acquire" and base and is_lock_name(base):
+            self._emit(LOCK, node, f"acquires lock '{base}' (bare call)",
+                       symbol=base)
         elif attr in _PATHLIKE_FS_METHODS:
             self._emit(FS, node, f".{attr}() touches the filesystem")
-        elif isinstance(func.value, ast.Name) and \
-                func.value.id in self.write_watch and \
-                attr in _MUTATOR_METHODS:
-            self._emit(GLOBAL_WRITE, node,
-                       f"mutates module global '{func.value.id}' via "
-                       f".{attr}()", symbol=func.value.id)
+        elif attr in _MUTATOR_METHODS:
+            self._check_mutator_call(node, func, attr)
+
+    def _check_mutator_call(self, node: ast.Call, func: ast.Attribute,
+                            attr: str) -> None:
+        recv = func.value
+        if isinstance(recv, ast.Name):
+            if recv.id in self.write_watch:
+                self._emit(GLOBAL_WRITE, node,
+                           f"mutates module global '{recv.id}' via "
+                           f".{attr}()", symbol=recv.id)
+            if self.emit_guarded and recv.id in self.guard_globals:
+                self._emit(GUARDED_WRITE, node,
+                           f"writes guarded global '{recv.id}' via "
+                           f".{attr}() "
+                           f"(guarded-by={self.guard_globals[recv.id]})",
+                           symbol=recv.id)
+        elif isinstance(recv, ast.Attribute):
+            if self.emit_guarded and recv.attr in self.guard_attrs:
+                self._emit(GUARDED_WRITE, node,
+                           f"writes guarded attribute '{recv.attr}' via "
+                           f".{attr}() "
+                           f"(guarded-by={self.guard_attrs[recv.attr]})",
+                           symbol=recv.attr)
+            elif recv.attr in self.attr_watch:
+                self._emit(SHARED_WRITE, node,
+                           f"mutates class-level mutable attribute "
+                           f"'{recv.attr}' via .{attr}()", symbol=recv.attr)
+
+    # -- locks ---------------------------------------------------------------
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def _visit_with(self, node: ast.AST) -> None:
+        for item in node.items:  # type: ignore[attr-defined]
+            name = dotted_name(item.context_expr)
+            if name and is_lock_name(name):
+                self._emit(LOCK, node, f"acquires lock '{name}' "
+                           f"(with block)", symbol=name)
+        self.generic_visit(node)
 
     # Nested defs are analyzed as functions of their own; don't double-count.
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
@@ -537,6 +847,175 @@ class _PoolSiteCollector(ast.NodeVisitor):
             lambda_in_args=lambda_in_args, open_in_args=open_in_args))
 
 
+class _ConcurrencyCollector:
+    """Spawn sites, lock operations, and persistence writes of one body.
+
+    A hand-rolled walker (not a NodeVisitor) so control-flow context —
+    ``conditional`` under a branch, ``in_finally`` inside a ``finally``
+    suite — travels down the recursion.  Nested function definitions are
+    skipped; they are walked as bodies of their own.
+    """
+
+    def __init__(self, lines: List[str], source: str, qualname: str,
+                 lock_spans: _LockSpans,
+                 spawns: List[SpawnSite], lock_ops: List[LockOp],
+                 writes: List[FileWrite]) -> None:
+        self.lines = lines
+        self.source = source
+        self.qualname = qualname
+        self.lock_spans = lock_spans
+        self.spawns = spawns
+        self.lock_ops = lock_ops
+        self.writes = writes
+        self._raw_writes: List[Tuple[str, str, int, int]] = []
+        self._has_replace = False
+
+    def run(self, body: List[ast.stmt]) -> None:
+        for stmt in body:
+            self._walk(stmt, conditional=False, in_finally=False)
+        for path_repr, mode, line, col in self._raw_writes:
+            self.writes.append(FileWrite(
+                path_repr=path_repr, mode=mode, in_function=self.qualname,
+                line=line, col=col,
+                line_text=_line_text(self.lines, line),
+                replace_in_function=self._has_replace))
+
+    def _walk(self, node: ast.AST, conditional: bool,
+              in_finally: bool) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            return
+        if isinstance(node, ast.Call):
+            self._call(node, conditional, in_finally)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            self._with(node, conditional, in_finally)
+        if isinstance(node, ast.Try):
+            for child in node.body:
+                self._walk(child, conditional, in_finally)
+            for handler in node.handlers:
+                for child in handler.body:
+                    self._walk(child, True, in_finally)
+            for child in node.orelse:
+                self._walk(child, True, in_finally)
+            for child in node.finalbody:
+                self._walk(child, conditional, True)
+            return
+        if isinstance(node, (ast.If, ast.While)):
+            self._walk(node.test, conditional, in_finally)
+            for child in node.body + node.orelse:
+                self._walk(child, True, in_finally)
+            return
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            self._walk(node.iter, conditional, in_finally)
+            for child in node.body + node.orelse:
+                self._walk(child, True, in_finally)
+            return
+        for child in ast.iter_child_nodes(node):
+            self._walk(child, conditional, in_finally)
+
+    # -- handlers ------------------------------------------------------------
+
+    def _held_excluding(self, line: int, lock: str) -> Tuple[str, ...]:
+        return tuple(name for name in self.lock_spans.held_at(line)
+                     if name != lock)
+
+    def _call(self, node: ast.Call, conditional: bool,
+              in_finally: bool) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in ("Thread", "Timer"):
+                self._spawn(node, "thread", func.id,
+                            self._thread_worker(node, func.id))
+            elif func.id == "open":
+                self._open(node)
+        elif isinstance(func, ast.Attribute):
+            base = _call_base(func)
+            attr = func.attr
+            if base == "threading" and attr in ("Thread", "Timer"):
+                self._spawn(node, "thread", f"{base}.{attr}",
+                            self._thread_worker(node, attr))
+            elif attr in _TASK_SPAWN_FUNCS:
+                worker = node.args[0] if node.args else None
+                if isinstance(worker, ast.Call):
+                    worker = worker.func
+                self._spawn(node, "task",
+                            f"{base}.{attr}" if base else attr, worker)
+            elif attr in ("acquire", "release") and base and \
+                    is_lock_name(base):
+                self.lock_ops.append(LockOp(
+                    op=attr, lock=base, function=self.qualname,
+                    line=node.lineno, col=node.col_offset + 1,
+                    line_text=_line_text(self.lines, node.lineno),
+                    conditional=conditional, in_finally=in_finally,
+                    held_before=self._held_excluding(node.lineno, base)))
+            elif base == "os" and attr == "replace":
+                self._has_replace = True
+
+    @staticmethod
+    def _thread_worker(node: ast.Call, name: str) -> Optional[ast.AST]:
+        for keyword in node.keywords:
+            if keyword.arg in ("target", "function"):
+                return keyword.value
+        if name == "Timer" and len(node.args) >= 2:
+            return node.args[1]
+        return None
+
+    def _spawn(self, node: ast.Call, kind: str, api: str,
+               worker: Optional[ast.AST]) -> None:
+        if isinstance(worker, ast.Lambda):
+            worker_kind, worker_name = "lambda", ""
+        elif isinstance(worker, ast.Name):
+            worker_kind, worker_name = "name", worker.id
+        elif isinstance(worker, ast.Attribute):
+            worker_kind, worker_name = "attribute", worker.attr
+        else:
+            worker_kind, worker_name = "other", ""
+        self.spawns.append(SpawnSite(
+            kind=kind, api=api, worker_kind=worker_kind,
+            worker_name=worker_name,
+            worker_repr=_source_repr(self.source, worker)
+            if worker is not None else "",
+            in_function=self.qualname, line=node.lineno,
+            col=node.col_offset + 1,
+            line_text=_line_text(self.lines, node.lineno)))
+
+    def _open(self, node: ast.Call) -> None:
+        mode = ""
+        if len(node.args) >= 2 and isinstance(node.args[1], ast.Constant) \
+                and isinstance(node.args[1].value, str):
+            mode = node.args[1].value
+        for keyword in node.keywords:
+            if keyword.arg == "mode" and \
+                    isinstance(keyword.value, ast.Constant) and \
+                    isinstance(keyword.value.value, str):
+                mode = keyword.value.value
+        if not mode or not (set(mode) & _WRITE_MODE_CHARS):
+            return
+        path_node = node.args[0] if node.args else None
+        self._raw_writes.append((
+            _source_repr(self.source, path_node)
+            if path_node is not None else "",
+            mode, node.lineno, node.col_offset + 1))
+
+    def _with(self, node: ast.AST, conditional: bool,
+              in_finally: bool) -> None:
+        seen: List[str] = []
+        items = node.items  # type: ignore[attr-defined]
+        for item in items:
+            name = dotted_name(item.context_expr)
+            if not name or not is_lock_name(name):
+                continue
+            held = self._held_excluding(node.lineno, name)
+            held = tuple(dict.fromkeys(held + tuple(seen)))
+            self.lock_ops.append(LockOp(
+                op="with", lock=name, function=self.qualname,
+                line=node.lineno, col=node.col_offset + 1,
+                line_text=_line_text(self.lines, node.lineno),
+                conditional=conditional, in_finally=in_finally,
+                held_before=held))
+            seen.append(name)
+
+
 # ---- module extraction -----------------------------------------------------
 
 
@@ -546,6 +1025,7 @@ def extract_module_effects(path: str, source: str,
     norm = path.replace("\\", "/")
     lines = source.splitlines()
     declared_lines = parse_declared_caches(source)
+    guard_pragmas = parse_guarded_pragmas(source)
 
     # Module-level bindings: which names hold mutable containers, which
     # definitions carry the declared-cache pragma.
@@ -597,8 +1077,36 @@ def extract_module_effects(path: str, source: str,
     write_watch = frozenset((mutable | scanner.global_decls) - declared)
     read_watch = frozenset(mutated)
 
+    # Concurrency model: guarded-by bindings, lock-typed module globals,
+    # and the class-body mutable attrs whose mutation is a shared write.
+    guarded = _extract_guarded_bindings(tree, lines, guard_pragmas)
+    guard_globals = {b.symbol: b.lock for b in guarded
+                     if b.scope == "global"}
+    guard_attrs = {b.symbol: b.lock for b in guarded if b.scope == "attr"}
+    guard_def_lines = frozenset(b.line for b in guarded)
+    attr_watch = frozenset(info.attr for info in class_attrs)
+    lock_global_names: Set[str] = set()
+    for stmt in tree.body:
+        value = None
+        targets = []
+        if isinstance(stmt, ast.Assign):
+            targets, value = list(stmt.targets), stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if not isinstance(value, ast.Call):
+            continue
+        callee = value.func
+        callee_name = callee.id if isinstance(callee, ast.Name) else (
+            callee.attr if isinstance(callee, ast.Attribute) else "")
+        if callee_name in _LOCK_FACTORIES:
+            lock_global_names.update(t.id for t in targets
+                                     if isinstance(t, ast.Name))
+
     functions: List[FunctionEffects] = []
     pool_sites: List[PoolSubmission] = []
+    spawn_sites: List[SpawnSite] = []
+    lock_ops: List[LockOp] = []
+    file_writes: List[FileWrite] = []
     nested: Set[str] = set()
 
     def analyze(func: ast.AST, class_name: str) -> None:
@@ -606,20 +1114,39 @@ def extract_module_effects(path: str, source: str,
         qual = f"{class_name}.{func.name}" if class_name else func.name
         qualname = f"{norm}::{qual}"
         locals_ = frozenset(_local_bindings(func))
+        lock_spans = _LockSpans(func.body)
         visitor = _EffectVisitor(
             lines, source,
             write_watch=frozenset(write_watch - locals_),
             read_watch=frozenset(read_watch - locals_),
-            global_decls=frozenset(scanner.global_decls))
+            global_decls=frozenset(scanner.global_decls),
+            guard_globals={name: lock
+                           for name, lock in guard_globals.items()
+                           if name not in locals_},
+            guard_attrs=guard_attrs,
+            attr_watch=attr_watch,
+            guard_def_lines=guard_def_lines,
+            lock_spans=lock_spans,
+            emit_guarded=func.name not in ("__init__", "__new__"))
         for stmt in func.body:
             visitor.visit(stmt)
         if visitor.effects:
             functions.append(FunctionEffects(
                 qualname=qualname, name=func.name, line=func.lineno,
                 effects=tuple(visitor.effects)))
+        before = len(pool_sites)
         collector = _PoolSiteCollector(lines, source, qualname, pool_sites)
         for stmt in func.body:
             collector.visit(stmt)
+        for index in range(before, len(pool_sites)):
+            site = pool_sites[index]
+            held = lock_spans.held_at(site.line)
+            if held:
+                pool_sites[index] = PoolSubmission(
+                    **{**site.__dict__, "locks_held": held})
+        conc = _ConcurrencyCollector(lines, source, qualname, lock_spans,
+                                     spawn_sites, lock_ops, file_writes)
+        conc.run(func.body)
 
     def walk_body(body: List[ast.stmt], class_name: str = "",
                   in_function: bool = False) -> None:
@@ -645,7 +1172,8 @@ def extract_module_effects(path: str, source: str,
     if module_stmts:
         visitor = _EffectVisitor(lines, source, write_watch=frozenset(),
                                  read_watch=frozenset(),
-                                 global_decls=frozenset())
+                                 global_decls=frozenset(),
+                                 emit_guarded=False)
         for stmt in module_stmts:
             visitor.visit(stmt)
         if visitor.effects:
@@ -656,6 +1184,10 @@ def extract_module_effects(path: str, source: str,
                                        pool_sites)
         for stmt in module_stmts:
             collector.visit(stmt)
+        conc = _ConcurrencyCollector(
+            lines, source, f"{norm}::<module>", _LockSpans(module_stmts),
+            spawn_sites, lock_ops, file_writes)
+        conc.run(module_stmts)
 
     return ModuleEffects(
         path=norm,
@@ -666,6 +1198,11 @@ def extract_module_effects(path: str, source: str,
         mutated_globals=frozenset(mutated),
         declared_caches=frozenset(declared),
         nested_functions=frozenset(nested),
+        spawn_sites=tuple(spawn_sites),
+        lock_ops=tuple(lock_ops),
+        guarded_bindings=tuple(guarded),
+        file_writes=tuple(file_writes),
+        lock_globals=frozenset(lock_global_names),
     )
 
 

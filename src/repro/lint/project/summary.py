@@ -24,7 +24,9 @@ from repro.lint.project.effects import ModuleEffects, extract_module_effects
 
 #: Bump when the summary layout changes so cached pickles are invalidated
 #: even if the source of the lint package somehow hashes equal.
-SUMMARY_SCHEMA = 3
+#: 4: ModuleEffects grew the concurrency model (spawn sites, lock ops,
+#: guarded bindings, persistence writes) for CONC01–CONC04.
+SUMMARY_SCHEMA = 4
 
 
 @dataclass(frozen=True)

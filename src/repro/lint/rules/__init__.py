@@ -7,6 +7,10 @@ Importing this package registers every rule with the registry in
 from __future__ import annotations
 
 from repro.lint.rules.cache_soundness import CacheSoundnessRule
+from repro.lint.rules.conc_fork import SpawnHygieneRule
+from repro.lint.rules.conc_locks import LockDisciplineRule
+from repro.lint.rules.conc_persist import AtomicPersistenceRule
+from repro.lint.rules.conc_race import SharedStateRaceRule
 from repro.lint.rules.config_deadness import ConfigDeadnessRule
 from repro.lint.rules.determinism import DeterminismRule
 from repro.lint.rules.event_queue import EventQueueRule
@@ -20,8 +24,12 @@ from repro.lint.rules.unit_safety import UnitSafetyRule
 from repro.lint.rules.worker_purity import WorkerPurityRule
 
 __all__ = [
+    "AtomicPersistenceRule",
     "CacheSoundnessRule",
     "ConfigDeadnessRule",
+    "LockDisciplineRule",
+    "SharedStateRaceRule",
+    "SpawnHygieneRule",
     "DeterminismRule",
     "EnergyLedgerRule",
     "EventQueueRule",

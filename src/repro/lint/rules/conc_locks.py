@@ -1,0 +1,131 @@
+"""CONC02 — lock discipline.
+
+A lock is only as good as the structure around it.  Three shapes make a
+correct-looking lock wrong:
+
+1. **Unstructured acquire** — a bare ``lock.acquire()`` with no
+   ``release()`` in the same function leaks the lock on every exception
+   path (and usually on the happy path too); every thread that touches
+   the lock afterwards deadlocks.  ``with lock:`` releases on every
+   exit edge by construction.
+
+2. **Unprotected release** — a ``release()`` outside a ``finally``
+   block (or under a branch) is skipped exactly when an exception or an
+   early return takes the other path.  The pairing must be
+   ``acquire(); try: ... finally: release()`` — or, better, ``with``.
+
+3. **Inconsistent acquisition order** — if one function nests lock *A*
+   then *B* and another nests *B* then *A*, two threads can each hold
+   one lock and wait forever for the other.  The check is project-wide
+   over the statically observed nesting pairs, with lock spellings
+   canonicalized per class / module / function so unrelated locks that
+   share a name never alias (see
+   :mod:`repro.lint.project.concurrency`).
+
+Phase 1 records every ``with lock:`` block and bare ``acquire``/
+``release`` with its control-flow context (conditional? inside a
+``finally``?) and the locks already held, which is all this rule needs —
+no ASTs, no resolution, so it runs on warm caches too.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.lint.base import ProjectRule, register_project_rule
+from repro.lint.findings import Severity
+from repro.lint.project.concurrency import (
+    iter_module_effects, lock_globals_of, qualify_lock)
+from repro.lint.project.graph import ProjectModel
+
+
+@register_project_rule
+class LockDisciplineRule(ProjectRule):
+    rule_id = "CONC02"
+    summary = ("locks must be held structurally: no bare acquire without "
+               "a finally-protected release in the same function, no "
+               "conditional release, and a project-wide consistent "
+               "nesting order for every pair of locks")
+    default_severity = Severity.ERROR
+
+    def run(self, model: "object") -> None:
+        assert isinstance(model, ProjectModel)
+        # (outer, inner) -> first site, for the order check.
+        pair_sites: Dict[Tuple[str, str], Tuple[str, object]] = {}
+        for summary, effects in iter_module_effects(model):
+            module_locks = lock_globals_of(model, summary.path)
+            by_function: Dict[Tuple[str, str], List[object]] = {}
+            for op in effects.lock_ops:
+                by_function.setdefault((op.function, op.lock),
+                                       []).append(op)
+                for outer in op.held_before:
+                    outer_id = qualify_lock(summary.path, op.function,
+                                            outer, module_locks)
+                    inner_id = qualify_lock(summary.path, op.function,
+                                            op.lock, module_locks)
+                    pair_sites.setdefault((outer_id, inner_id),
+                                          (summary.path, op))
+            for (function, lock), ops in sorted(by_function.items()):
+                self._check_pairing(summary.path, function, lock, ops)
+        self._check_order(pair_sites)
+
+    # -- acquire/release pairing within one function -------------------------
+
+    def _check_pairing(self, path: str, function: str, lock: str,
+                       ops: List[object]) -> None:
+        acquires = [op for op in ops if op.op == "acquire"]
+        releases = [op for op in ops if op.op == "release"]
+        if not acquires:
+            return
+        func_name = function.split("::", 1)[-1]
+        if not releases:
+            for op in acquires:
+                self.report(
+                    path, op.line, op.col,
+                    f"'{lock}.acquire()' in '{func_name}' has no "
+                    f"matching release() in the same function; an "
+                    f"exception after this line leaves the lock held "
+                    f"forever — use 'with {lock}:' (releases on every "
+                    f"exit edge)",
+                    line_text=op.line_text)
+            return
+        for op in releases:
+            if not op.in_finally:
+                self.report(
+                    path, op.line, op.col,
+                    f"'{lock}.release()' in '{func_name}' is not inside "
+                    f"a finally block; the exception path skips it and "
+                    f"the lock stays held — pair acquire() with "
+                    f"'try: ... finally: release()', or use "
+                    f"'with {lock}:'",
+                    line_text=op.line_text)
+            elif op.conditional:
+                self.report(
+                    path, op.line, op.col,
+                    f"'{lock}.release()' in '{func_name}' runs only "
+                    f"under a branch; the other path leaves the lock "
+                    f"held — release unconditionally in a finally "
+                    f"block, or use 'with {lock}:'",
+                    line_text=op.line_text)
+
+    # -- project-wide acquisition order --------------------------------------
+
+    def _check_order(self, pair_sites: Dict[Tuple[str, str],
+                                            Tuple[str, object]]) -> None:
+        for (outer, inner), (path, op) in sorted(
+                pair_sites.items(),
+                key=lambda kv: (kv[1][0], kv[1][1].line, kv[1][1].col)):
+            if outer >= inner or (inner, outer) not in pair_sites:
+                continue  # report each inverted pair once, at one site
+            other_path, other = pair_sites[(inner, outer)]
+            outer_name = outer.rsplit("::", 1)[-1]
+            inner_name = inner.rsplit("::", 1)[-1]
+            self.report(
+                path, op.line, op.col,
+                f"inconsistent lock order: '{inner_name}' is acquired "
+                f"while holding '{outer_name}' here, but "
+                f"{other_path}:{other.line} acquires them in the "
+                f"opposite order; two threads taking the two paths "
+                f"deadlock — pick one global order and nest every "
+                f"acquisition the same way",
+                line_text=op.line_text)

@@ -1,0 +1,82 @@
+"""CONC04 — atomic persistence for digest-keyed cache entries.
+
+Both persistence layers publish entries the same way on purpose:
+``repro.exec.cache`` (sweep results) and ``repro.lint.cache`` (phase-1
+summaries) write to a private temp file in the destination directory and
+``os.replace()`` it over the final digest-keyed path.  POSIX rename is
+atomic, so a concurrent reader sees either the old entry or the new one
+— never a half-written pickle that deserializes into garbage served as a
+cached result.
+
+A direct ``open(entry_path, "w")`` breaks that invariant: between the
+``open`` and the last ``write`` the entry exists *and is torn*, and with
+two sweep processes racing (exactly what the warm-pool roadmap item
+sets up) the reader's failure mode is not a crash but a wrong number.
+
+Phase 1 records every write-mode ``open`` with its path spelling and
+whether the same function calls ``os.replace``.  This rule fires on
+writes whose path spelling names a cache entry (``cache``/``entry``/
+``digest``) when the function has no ``os.replace`` and the path is not
+already a temp file.  Matching by spelling is the same honesty contract
+as the lock heuristic: a cache path the convention cannot recognize
+should be renamed, not special-cased.
+
+The fix is mechanical::
+
+    tmp = f"{entry}.{os.getpid()}.tmp"
+    with open(tmp, "wb") as handle:
+        handle.write(payload)
+    os.replace(tmp, entry)
+"""
+
+from __future__ import annotations
+
+from repro.lint.base import ProjectRule, register_project_rule
+from repro.lint.findings import Severity
+from repro.lint.project.concurrency import iter_module_effects
+from repro.lint.project.graph import ProjectModel
+
+#: Path spellings that look like digest-keyed persistence destinations.
+_ENTRY_HINTS = ("cache", "entry", "digest")
+
+#: Path spellings already naming a private temp file (the good pattern's
+#: first half; the ``os.replace`` that publishes it is checked per call
+#: site being present in the same function).
+_TEMP_HINTS = ("tmp", "temp")
+
+
+def is_entry_path(path_repr: str) -> bool:
+    """Whether a path spelling names a cache entry (and not a temp file)."""
+    spelling = path_repr.lower()
+    return any(hint in spelling for hint in _ENTRY_HINTS) and \
+        not any(hint in spelling for hint in _TEMP_HINTS)
+
+
+@register_project_rule
+class AtomicPersistenceRule(ProjectRule):
+    rule_id = "CONC04"
+    summary = ("digest-keyed cache entries must be published atomically: "
+               "write a private temp file and os.replace() it over the "
+               "entry path, never open the entry path for writing "
+               "directly")
+    default_severity = Severity.ERROR
+
+    def run(self, model: "object") -> None:
+        assert isinstance(model, ProjectModel)
+        for summary, effects in iter_module_effects(model):
+            for write in effects.file_writes:
+                if not is_entry_path(write.path_repr):
+                    continue
+                if write.replace_in_function:
+                    continue
+                func_name = write.in_function.split("::", 1)[-1]
+                self.report(
+                    summary.path, write.line, write.col,
+                    f"open({write.path_repr!r}, mode={write.mode!r}) in "
+                    f"'{func_name}' writes a cache entry in place; a "
+                    f"concurrent reader can observe the torn entry as a "
+                    f"valid cached result — write to a '.{{pid}}.tmp' "
+                    f"sibling and publish it with os.replace() (atomic "
+                    f"on POSIX), as repro.exec.cache and "
+                    f"repro.lint.cache do",
+                    line_text=write.line_text)

@@ -18,6 +18,7 @@ their own ``Registry``.
 from __future__ import annotations
 
 import bisect
+import threading
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.errors import ReproError
@@ -134,22 +135,35 @@ class Registry:
     ``counter`` / ``gauge`` / ``histogram`` are get-or-create: asking twice
     for the same name returns the same instrument, asking with a different
     kind is an error — so two components can safely share a metric by name.
+
+    Get-or-create is thread-safe: the daemon/watcher roadmap items put
+    instrument creation on more than one thread, and an unlocked
+    get-then-create lets two threads each create-and-register "the"
+    instrument — counts then split across two objects and one snapshot
+    silently loses the other's increments.  The lock covers only the
+    creation path (double-checked: the common all-hits case takes the
+    lock once per instrument lifetime); increments stay lock-free, as
+    does the NULL_RECORDER fast path, so golden outputs are
+    bit-identical.
     """
 
     def __init__(self) -> None:
-        self._metrics: Dict[str, Any] = {}
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, Any] = {}  # mapglint: guarded-by=self._lock
 
     def _get_or_create(self, cls: type, name: str, help: str,
                        **kwargs: Any) -> Any:
-        existing = self._metrics.get(name)
-        if existing is not None:
-            if not isinstance(existing, cls):
-                raise MetricError(
-                    f"metric {name!r} already registered as "
-                    f"{existing.kind}, not {cls.kind}")  # type: ignore[attr-defined]
-            return existing
-        metric = cls(name, help=help, **kwargs)
-        self._metrics[name] = metric
+        metric = self._metrics.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(name)
+                if metric is None:
+                    metric = cls(name, help=help, **kwargs)
+                    self._metrics[name] = metric
+        if not isinstance(metric, cls):
+            raise MetricError(
+                f"metric {name!r} already registered as "
+                f"{metric.kind}, not {cls.kind}")  # type: ignore[attr-defined]
         return metric
 
     def counter(self, name: str, help: str = "") -> Counter:
@@ -180,7 +194,8 @@ class Registry:
 
     def reset(self) -> None:
         """Drop every registered instrument (tests, measured-region resets)."""
-        self._metrics.clear()
+        with self._lock:
+            self._metrics.clear()
 
 
 _DEFAULT_REGISTRY = Registry()

@@ -35,6 +35,30 @@ def test_readme_mentions_every_top_level_doc():
         assert doc in text
 
 
+def test_linting_md_documents_every_rule():
+    """docs/LINTING.md has a section per rule id, in sync with --explain.
+
+    The explain table is pinned complete-by-registry elsewhere; this pin
+    keeps the prose document from drifting behind the registry — a rule
+    that CI enforces but the docs never mention is unreviewable.
+    """
+    from repro.lint import all_rule_ids
+
+    text = (Path(__file__).parent.parent / "docs" / "LINTING.md") \
+        .read_text(encoding="utf-8")
+    headings = set(re.findall(r"^### ([A-Z]+\d+) ", text, re.M))
+    missing = [rule for rule in all_rule_ids() if rule not in headings]
+    assert not missing, f"rules undocumented in docs/LINTING.md: {missing}"
+
+
+def test_linting_md_documents_the_pragmas():
+    text = (Path(__file__).parent.parent / "docs" / "LINTING.md") \
+        .read_text(encoding="utf-8")
+    for pragma in ("mapglint: disable=", "mapglint: declared-cache",
+                   "mapglint: guarded-by="):
+        assert pragma in text, f"pragma '{pragma}' undocumented"
+
+
 def test_experiment_ids_in_experiments_md_resolve_to_results():
     """Every ledger row's id has an archived result (after a bench run)."""
     results_dir = Path(__file__).parent.parent / "benchmarks" / "results"

@@ -28,12 +28,15 @@ class TestSarifShape:
             assert rule["defaultConfiguration"]["level"] in ("error", "warning")
 
     def test_effect_rules_are_in_the_inventory(self):
-        # The registry drives the driver block, but the effect rules are
-        # load-bearing for code scanning: pin them by name.
+        # The registry drives the driver block, but the effect and
+        # concurrency rules are load-bearing for code scanning: pin them
+        # by name.
+        pinned = {"CACHE01", "PURE01", "OBS01", "PAR01",
+                  "CONC01", "CONC02", "CONC03", "CONC04"}
         log = to_sarif([])
         ids = {r["id"] for r in log["runs"][0]["tool"]["driver"]["rules"]}
-        assert {"CACHE01", "PURE01", "OBS01", "PAR01"} <= ids
-        assert {"CACHE01", "PURE01", "OBS01", "PAR01"} <= set(all_rule_ids())
+        assert pinned <= ids
+        assert pinned <= set(all_rule_ids())
 
     def test_rule_subset_restricts_the_inventory(self):
         log = to_sarif([], rule_ids=["UNIT02", "CFG01"])

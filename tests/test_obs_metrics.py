@@ -1,5 +1,7 @@
 """Tests for the observability metrics primitives (repro.obs.metrics)."""
 
+import threading
+
 import pytest
 
 from repro.errors import ReproError
@@ -101,3 +103,29 @@ class TestRegistry:
 
     def test_default_registry_is_process_wide(self):
         assert default_registry() is default_registry()
+
+    def test_get_or_create_is_thread_safe(self):
+        # Unlocked get-then-create lets two threads each register "the"
+        # instrument; counts then split across two objects and one
+        # snapshot silently loses the other's increments.  Every thread
+        # must get the identical object, every time.
+        registry = Registry()
+        workers = 8
+        barrier = threading.Barrier(workers)
+        created = []
+
+        def create(name):
+            barrier.wait()
+            created.append(registry.counter(name))
+
+        for round_no in range(20):
+            created.clear()
+            name = f"shared.{round_no}"
+            threads = [threading.Thread(target=create, args=(name,))
+                       for _ in range(workers)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert len({id(metric) for metric in created}) == 1
+            assert created[0] is registry.get(name)
