@@ -8,6 +8,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from repro.errors import AnalysisError
+
 _SPARK_LEVELS = "▁▂▃▄▅▆▇█"
 
 
@@ -20,11 +22,11 @@ def bar_chart(labels: Sequence[str], values: Sequence[float],
     naturally.
     """
     if len(labels) != len(values):
-        raise ValueError(f"{len(labels)} labels but {len(values)} values")
+        raise AnalysisError(f"{len(labels)} labels but {len(values)} values")
     if not labels:
-        raise ValueError("bar chart needs at least one row")
+        raise AnalysisError("bar chart needs at least one row")
     if width < 4:
-        raise ValueError("width must be >= 4")
+        raise AnalysisError("width must be >= 4")
 
     label_width = max(len(str(label)) for label in labels)
     scale = max(abs(v) for v in values) or 1.0
@@ -74,7 +76,7 @@ def timeline_row(segments: Sequence["tuple[str, int]"], width: int = 72,
     if not segments:
         return ""
     if any(cycles < 0 for __, cycles in segments):
-        raise ValueError("segment lengths must be >= 0")
+        raise AnalysisError("segment lengths must be >= 0")
     total = sum(cycles for __, cycles in segments)
     if total == 0:
         return ""

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from repro.errors import AnalysisError
+
 
 def format_fraction_pct(fraction: float, precision: int = 1) -> str:
     """``0.1234`` -> ``'12.3 %'`` (fractions, not percents, are the input)."""
@@ -37,7 +39,7 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
     columns = len(headers)
     for index, row in enumerate(text_rows):
         if len(row) != columns:
-            raise ValueError(
+            raise AnalysisError(
                 f"row {index} has {len(row)} cells, expected {columns}")
 
     widths = [len(header) for header in headers]

@@ -32,3 +32,52 @@ class CircuitModelError(ReproError):
 
 class PredictionError(ReproError):
     """A latency predictor was used incorrectly (e.g. update before observe)."""
+
+
+class StatsError(ReproError, ValueError):
+    """A statistics helper was given malformed or out-of-domain input.
+
+    Also a :class:`ValueError`: the stats helpers documented (and tests
+    pin) ``ValueError`` on bad input before the hierarchy grew this
+    class, so existing ``except ValueError`` callers keep working.
+    """
+
+
+class AnalysisError(ReproError, ValueError):
+    """An analysis/reporting helper was given malformed input.
+
+    Also a :class:`ValueError` for the same compatibility reason as
+    :class:`StatsError`.
+    """
+
+
+class CacheError(ReproError, ValueError):
+    """A result-cache entry or payload is malformed or from another schema.
+
+    Also a :class:`ValueError`: cache deserialization documented
+    ``ValueError`` on corrupt payloads before this class existed.
+    """
+
+
+class ManifestError(ReproError, ValueError):
+    """A run manifest is malformed or references missing artifacts.
+
+    Also a :class:`ValueError` for caller compatibility.
+    """
+
+
+class SweepError(ReproError):
+    """One or more sweep cells failed; the rest of the sweep completed.
+
+    Raised by :class:`~repro.exec.engine.SweepRunner` after every healthy
+    cell has executed (and been cached), so a single poisoned cell cannot
+    discard the surviving results.  ``failures`` maps each failing
+    job-spec key to the stringified worker error.
+    """
+
+    def __init__(self, failures: "dict[str, str]") -> None:
+        self.failures = dict(failures)
+        cells = "; ".join(f"{key}: {err}"
+                          for key, err in sorted(self.failures.items()))
+        super().__init__(
+            f"{len(self.failures)} sweep cell(s) failed ({cells})")

@@ -28,6 +28,7 @@ import os
 import threading
 from typing import Any, Dict, Optional
 
+from repro.errors import CacheError
 from repro.exec.jobspec import JobSpec
 from repro.exec.version import RESULT_SCHEMA, simulation_version
 from repro.sim.results import SimulationResult
@@ -45,7 +46,7 @@ def result_from_dict(data: Dict[str, Any]) -> SimulationResult:
     field_names = {f.name for f in dataclasses.fields(SimulationResult)}
     unknown = sorted(set(data) - field_names)
     if unknown:
-        raise ValueError(f"unknown SimulationResult fields: {unknown}")
+        raise CacheError(f"unknown SimulationResult fields: {unknown}")
     return SimulationResult(**data)
 
 
@@ -71,14 +72,20 @@ class ResultCache:
     def _entry_path(self, key: str) -> str:
         return os.path.join(self.cache_dir, key[:2], key + ".json")
 
-    def load(self, spec: JobSpec) -> Optional[SimulationResult]:
-        """The cached result for ``spec``, or ``None`` on any miss."""
+    def load(self, spec: JobSpec) -> Optional[SimulationResult]:  # mapglint: error-boundary
+        """The cached result for ``spec``, or ``None`` on any miss.
+
+        A corrupt, stale, or unreadable entry must mean a *miss*, never
+        an abort — the cache is an optimization and may not change
+        observable behavior — so the broad catch below is the contract
+        here, declared via the error-boundary pragma.
+        """
         try:
             with open(self._entry_path(self.key(spec)), "r",
                       encoding="utf-8") as handle:
                 entry = json.load(handle)
             if entry.get("schema") != RESULT_SCHEMA:
-                raise ValueError("stale cache schema")
+                raise CacheError("stale cache schema")
             result = result_from_dict(entry["result"])
         except (OSError, ValueError, KeyError, TypeError):
             self.misses += 1

@@ -27,7 +27,7 @@ import multiprocessing
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SweepError
 from repro.exec.cache import ResultCache, result_from_dict, result_to_dict
 from repro.exec.jobspec import JobSpec
 from repro.exec.tracestore import TraceStore
@@ -38,18 +38,28 @@ from repro.sim.results import SimulationResult
 _WORKER_STORE: Optional[TraceStore] = None  # mapglint: declared-cache
 
 
-def _execute_payload(item: "Tuple[str, Dict[str, Any]]"
+def _execute_payload(item: "Tuple[str, Dict[str, Any]]"  # mapglint: error-boundary
                      ) -> "Tuple[str, Dict[str, Any]]":
     """Pool worker: rebuild one spec, simulate it, return (key, result).
 
     Module-level (not a closure) so it pickles under the ``spawn`` start
     method; the result travels back as a plain dict for the same reason.
+
+    Nothing may escape a pool worker — an uncaught exception surfaces as
+    a bare re-raise at the pool join and discards every in-flight cell —
+    so any failure comes back as a ``__mapg_error__`` record under the
+    same key, and the parent aggregates them into one
+    :class:`~repro.errors.SweepError` after the surviving cells land.
     """
     global _WORKER_STORE
     if _WORKER_STORE is None:
         _WORKER_STORE = TraceStore()
     key, payload = item
-    result = JobSpec.from_payload(payload).execute(trace_store=_WORKER_STORE)
+    try:
+        result = JobSpec.from_payload(payload).execute(
+            trace_store=_WORKER_STORE)
+    except Exception as exc:
+        return key, {"__mapg_error__": f"{type(exc).__name__}: {exc}"}
     return key, result_to_dict(result)
 
 
@@ -68,8 +78,16 @@ class SweepRunner:
         self.executed = 0
         self.cache_hits = 0
 
-    def run(self, specs: Sequence[JobSpec]) -> List[SimulationResult]:
-        """Results for ``specs``, in input order; duplicates run once."""
+    def run(self, specs: Sequence[JobSpec]) -> List[SimulationResult]:  # mapglint: error-boundary
+        """Results for ``specs``, in input order; duplicates run once.
+
+        Failures degrade gracefully: a failing cell never takes the
+        sweep down with it.  Every other cell still completes and (when
+        a cache is attached) lands in the cache; the failures are then
+        re-raised together as one :class:`~repro.errors.SweepError`
+        naming each failed cell by its spec key, so a 10^4-cell study
+        loses only the broken cells — and only once.
+        """
         unique: "OrderedDict[str, JobSpec]" = OrderedDict()
         for spec in specs:
             unique.setdefault(spec.key, spec)
@@ -90,6 +108,7 @@ class SweepRunner:
              if key not in results),
             key=lambda item: (item[1].profile, item[1].seed,
                               item[1].warmup_ops, item[1].num_ops, item[0]))
+        failures: Dict[str, str] = {}
         if self.jobs > 1 and len(missing) > 1:
             payloads = [(key, spec.to_payload()) for key, spec in missing]
             context = multiprocessing.get_context(self.mp_start_method)
@@ -97,15 +116,25 @@ class SweepRunner:
             with context.Pool(processes=workers) as pool:
                 for key, result_dict in pool.imap_unordered(
                         _execute_payload, payloads, chunksize=1):
-                    results[key] = result_from_dict(result_dict)
+                    error = result_dict.get("__mapg_error__")
+                    if error is not None:
+                        failures[key] = str(error)
+                    else:
+                        results[key] = result_from_dict(result_dict)
         else:
             for key, spec in missing:
-                results[key] = spec.execute(trace_store=self.trace_store)
+                try:
+                    results[key] = spec.execute(trace_store=self.trace_store)
+                except Exception as exc:
+                    failures[key] = f"{type(exc).__name__}: {exc}"
         self.executed += len(missing)
 
         if self.cache is not None:
             for key, spec in missing:
-                self.cache.store(spec, results[key])
+                if key in results:
+                    self.cache.store(spec, results[key])
+        if failures:
+            raise SweepError(failures)
         return [results[spec.key] for spec in specs]
 
     def stats(self) -> Dict[str, int]:

@@ -83,7 +83,7 @@ class ResultCache:
     def _entry_path(self, key: str) -> str:
         return os.path.join(self.cache_dir, key[:2], key + ".pkl")
 
-    def load(self, key: str
+    def load(self, key: str  # mapglint: error-boundary
              ) -> Optional[Tuple[List[Finding], ModuleSummary]]:
         """Cached ``(findings, summary)`` for a key, or ``None`` on a miss."""
         try:

@@ -107,6 +107,45 @@ _EXAMPLES: Dict[str, Tuple[str, str]] = {
         "    fh.write(payload)\n"
         "os.replace(tmp, entry_path)  # atomic publication",
     ),
+    "ERR01": (
+        "def _worker(item):\n"
+        "    return simulate(item)   # ConfigError escapes, pool join dies",
+        "def _worker(item):  # mapglint: error-boundary\n"
+        "    try:\n"
+        "        return key(item), simulate(item)\n"
+        "    except Exception as exc:\n"
+        "        return key(item), {'__mapg_error__': str(exc)}",
+    ),
+    "ERR02": (
+        "try:\n"
+        "    entry = json.load(handle)\n"
+        "except Exception:\n"
+        "    pass                    # every future bug becomes silence",
+        "try:\n"
+        "    entry = json.load(handle)\n"
+        "except (OSError, ValueError) as exc:\n"
+        "    log.warning('cache entry unreadable: %s', exc)\n"
+        "    return None",
+    ),
+    "ERR03": (
+        "self._registry[name] = entry   # registered...\n"
+        "validate(entry)                # ...then the raise unwinds",
+        "validate(entry)                # raise first\n"
+        "self._registry[name] = entry   # mutate last",
+    ),
+    "ERR04": (
+        "raise ValueError('percentile must be in [0, 100]')  # breaks "
+        "the errors.py contract",
+        "raise StatsError('percentile must be in [0, 100]')  # "
+        "StatsError(ReproError, ValueError) keeps old callers working",
+    ),
+    "RES01": (
+        "pool = context.Pool(workers)\n"
+        "merge(pool.map(_worker, cells))\n"
+        "pool.terminate()            # skipped when map() raises",
+        "with context.Pool(workers) as pool:\n"
+        "    merge(pool.map(_worker, cells))  # released on every exit edge",
+    ),
 }
 
 

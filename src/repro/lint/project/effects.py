@@ -56,6 +56,36 @@ concurrent, phase 1 also extracts a **concurrency model**:
 * **persistence writes** — every write-mode ``open`` with its path
   spelling, so digest-keyed cache entries can be required to use the
   temp-file + ``os.replace`` publication pattern (CONC04).
+
+The daemon-readiness roadmap items also need **exception flow**: at
+10^4–10^6 sweep cells, one escaped exception kills a pool join and one
+swallowed one corrupts a run silently.  Phase 1 therefore extracts an
+**error-flow model** per function:
+
+* **raise sites** — every explicit ``raise`` with the spelled exception
+  type (resolved against the :class:`ReproError` hierarchy in phase 2;
+  ``raise err`` of a lowercase local is unknowable and skipped — the
+  engine under-approximates rather than guesses);
+* **handler spans** — every ``except`` clause with its caught types, the
+  try-body line span it protects, and whether the handler re-raises
+  (bare ``raise``), raises a replacement, logs, or returns — the facts
+  ERR01/ERR02 need to tell a boundary from a swallow;
+* **protected spans** — try bodies with a handler or ``finally``, so
+  ERR03 can see that a state mutation is exception-guarded;
+* **resource sites** — ``open``/``Pool``/``Executor``/``tempfile``
+  acquisitions with their ``with``/close/escape context (RES01);
+* **exception classes** — every ``class X(Base, ...)`` definition, so
+  phase 2 can resolve project exception subtyping.
+
+A function that *intentionally* swallows exceptions (a cache ``load``
+where a corrupt entry must mean a miss, a pool worker that must return a
+failure record instead of dying) declares it on its definition line::
+
+    def load(self, spec):  # mapglint: error-boundary
+
+The pragma is the author's auditable claim that swallowing is the
+contract there; ERR01/ERR02 trust it and phase 2 records the qualname in
+:attr:`ModuleEffects.error_boundaries`.
 """
 
 from __future__ import annotations
@@ -70,7 +100,10 @@ from repro.lint.project.dimensions import dotted_name
 #: Bump when the effect-summary layout or inference changes; folded into
 #: the result-cache key (see :mod:`repro.lint.cache`) so upgrading the
 #: linter can never serve stale phase-1 effect summaries.
-EFFECT_SCHEMA = 2
+#: 3: ModuleEffects grew the error-flow model (raise sites, handler
+#: spans, protected spans, resource sites, exception classes, and the
+#: error-boundary pragma) for ERR01–ERR04/RES01.
+EFFECT_SCHEMA = 3
 
 # ---- the effect alphabet ---------------------------------------------------
 
@@ -215,6 +248,98 @@ class FileWrite:
 
 
 @dataclass(frozen=True)
+class RaiseSite:
+    """One explicit ``raise`` statement with its spelled exception type.
+
+    ``exc_type`` is the last segment of the raised expression's spelling
+    (``errors.ConfigError`` records as ``ConfigError``); a bare re-raise
+    records ``exc_type=""``/``is_reraise=True`` and an unknowable raise
+    (``raise err`` of a lowercase local) is not recorded at all.
+    """
+
+    exc_type: str              # class name, "" for a bare re-raise
+    in_function: str           # qualname of the enclosing function
+    in_handler: bool           # lexically inside an except suite
+    line: int
+    col: int
+    line_text: str = ""
+    is_reraise: bool = False   # bare ``raise`` (re-raise of the caught exc)
+
+
+@dataclass(frozen=True)
+class HandlerInfo:
+    """One ``except`` clause with the try-body span it protects.
+
+    ``caught`` holds the last segment of each caught spelling in source
+    order (empty for a bare ``except:``); a caught expression the
+    extractor cannot name records as ``"*"`` and phase 2 treats it as a
+    catch-all (under-approximating escapes, never inventing them).
+    """
+
+    in_function: str           # qualname of the enclosing function
+    caught: Tuple[str, ...]    # caught type names, () for bare except
+    is_bare: bool              # ``except:`` with no type at all
+    try_start: int             # first line of the protected try body
+    try_end: int               # last line of the protected try body
+    line: int                  # the ``except`` line
+    col: int
+    line_text: str = ""
+    reraises: bool = False     # bare ``raise`` in the handler suite
+    raises_new: bool = False   # typed ``raise X`` in the handler suite
+    logs: bool = False         # print()/log/warn-style call in the suite
+    returns: bool = False      # ``return`` in the handler suite
+
+
+@dataclass(frozen=True)
+class ProtectedSpan:
+    """One try-body line span guarded by a handler or ``finally``."""
+
+    in_function: str
+    start: int                 # first line of the try body
+    end: int                   # last line of the try body
+    has_finally: bool
+    has_handlers: bool
+
+
+@dataclass(frozen=True)
+class ResourceSite:
+    """One resource acquisition with its lifecycle context.
+
+    ``escapes`` is true when ownership visibly leaves the function —
+    returned/yielded, stored on ``self``/a global, passed to another
+    call, or placed in a container — in which case the closer lives
+    elsewhere and RES01 stays quiet.
+    """
+
+    kind: str                  # "open" | "pool" | "executor" | "tempfile"
+    api: str                   # source spelling ("open", "tempfile.mkstemp")
+    var: str                   # bound local name, "" when unnamed
+    in_function: str           # qualname of the enclosing function
+    line: int
+    col: int
+    line_text: str = ""
+    in_with: bool = False      # acquired as a ``with`` context manager
+    escapes: bool = False      # ownership leaves the function
+    closed: bool = False       # var.close()/terminate()/shutdown() seen
+    close_line: int = 0
+    close_in_finally: bool = False
+
+
+@dataclass(frozen=True)
+class ExceptionClassInfo:
+    """One project class definition with its base spellings.
+
+    Recorded for *every* class with bases — phase 2's exception
+    hierarchy only ever queries names that appear in raise/except
+    clauses, so the extra entries are inert.
+    """
+
+    name: str
+    bases: Tuple[str, ...]     # last segment of each base spelling
+    line: int
+
+
+@dataclass(frozen=True)
 class ModuleEffects:
     """Everything effect-related phase 2 needs from one module."""
 
@@ -231,11 +356,19 @@ class ModuleEffects:
     guarded_bindings: Tuple[GuardedBinding, ...] = ()
     file_writes: Tuple[FileWrite, ...] = ()
     lock_globals: FrozenSet[str] = frozenset()
+    raise_sites: Tuple[RaiseSite, ...] = ()
+    handlers: Tuple[HandlerInfo, ...] = ()
+    protected_spans: Tuple[ProtectedSpan, ...] = ()
+    resource_sites: Tuple[ResourceSite, ...] = ()
+    exception_classes: Tuple[ExceptionClassInfo, ...] = ()
+    error_boundaries: FrozenSet[str] = frozenset()
 
 
 # ---- detection tables ------------------------------------------------------
 
 _DECLARED_CACHE_RE = re.compile(r"#\s*mapglint:\s*declared-cache\b")
+
+_ERROR_BOUNDARY_RE = re.compile(r"#\s*mapglint:\s*error-boundary\b")
 
 _GUARDED_BY_RE = re.compile(
     r"#\s*mapglint:\s*guarded-by=([A-Za-z_][A-Za-z0-9_.]*)")
@@ -333,6 +466,15 @@ def parse_guarded_pragmas(source: str) -> Dict[int, str]:
         if match:
             pragmas[lineno] = match.group(1)
     return pragmas
+
+
+def parse_error_boundaries(source: str) -> Set[int]:
+    """Line numbers carrying a ``# mapglint: error-boundary`` pragma."""
+    lines: Set[int] = set()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if _ERROR_BOUNDARY_RE.search(line):
+            lines.add(lineno)
+    return lines
 
 
 def is_lock_name(dotted: str) -> bool:
@@ -1016,6 +1158,326 @@ class _ConcurrencyCollector:
             seen.append(name)
 
 
+# ---- error-flow collection -------------------------------------------------
+
+#: Receiver methods that release a resource handle.
+_CLOSE_METHODS = frozenset({"close", "terminate", "shutdown", "cleanup"})
+
+#: Call names that count as logging inside an except suite.  Matching is
+#: by the bare attr/name: ``print``, anything spelled like a logger call,
+#: or an explicit stderr write.
+_LOG_CALL_NAMES = frozenset({"print", "debug", "info", "warning", "warn",
+                             "error", "exception", "critical", "log",
+                             "write"})
+
+#: tempfile constructors whose result needs explicit cleanup.
+_TEMPFILE_FACTORIES = frozenset({"NamedTemporaryFile", "TemporaryFile",
+                                 "SpooledTemporaryFile", "mkstemp",
+                                 "mkdtemp", "TemporaryDirectory"})
+
+_POOL_FACTORIES = frozenset({"Pool", "ThreadPool"})
+
+_EXECUTOR_FACTORIES = frozenset({"ProcessPoolExecutor",
+                                 "ThreadPoolExecutor"})
+
+
+def _acquisition_kind(node: ast.Call) -> Tuple[str, str]:
+    """``(kind, api)`` when ``node`` acquires a resource, else ``("", "")``."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        if func.id == "open":
+            return "open", "open"
+        if func.id in _POOL_FACTORIES:
+            return "pool", func.id
+        if func.id in _EXECUTOR_FACTORIES:
+            return "executor", func.id
+        return "", ""
+    if isinstance(func, ast.Attribute):
+        base = _call_base(func)
+        attr = func.attr
+        spelling = f"{base}.{attr}" if base else attr
+        if base == "tempfile" and attr in _TEMPFILE_FACTORIES:
+            return "tempfile", spelling
+        if attr in _POOL_FACTORIES:
+            return "pool", spelling
+        if attr in _EXECUTOR_FACTORIES:
+            return "executor", spelling
+    return "", ""
+
+
+def _exc_type_name(exc: Optional[ast.expr]) -> str:
+    """The class name an exception expression spells, or ``""``.
+
+    ``X(...)`` and dotted ``mod.X(...)`` resolve to ``X``; a bare
+    uppercase name (``raise StopIteration``) resolves to itself; a
+    lowercase name is a variable whose class is unknowable statically.
+    """
+    if exc is None:
+        return ""
+    target = exc.func if isinstance(exc, ast.Call) else exc
+    name = dotted_name(target).rsplit(".", 1)[-1]
+    if name and name[0].isupper():
+        return name
+    return ""
+
+
+def _caught_names(handler: ast.ExceptHandler) -> Tuple[Tuple[str, ...], bool]:
+    """``(caught type names, is_bare)`` for one except clause."""
+    if handler.type is None:
+        return (), True
+    exprs = handler.type.elts if isinstance(handler.type, ast.Tuple) \
+        else [handler.type]
+    names: List[str] = []
+    for expr in exprs:
+        name = dotted_name(expr).rsplit(".", 1)[-1]
+        names.append(name if name else "*")
+    return tuple(names), False
+
+
+class _ErrorFlowCollector:
+    """Raise sites, handler spans, and resource lifecycles of one body.
+
+    A hand-rolled walker like :class:`_ConcurrencyCollector`: the
+    ``in_handler``/``in_finally`` context travels down the recursion and
+    nested function definitions are skipped (walked as bodies of their
+    own).  Named resource acquisitions are matched to their close and
+    escape sites in a post-pass over the same body.
+    """
+
+    def __init__(self, lines: List[str], source: str, qualname: str,
+                 raises: List[RaiseSite], handlers: List[HandlerInfo],
+                 spans: List[ProtectedSpan],
+                 resources: List[ResourceSite]) -> None:
+        self.lines = lines
+        self.source = source
+        self.qualname = qualname
+        self.raises = raises
+        self.handlers = handlers
+        self.spans = spans
+        self.resources = resources
+        # Named acquisitions awaiting the close/escape post-pass.
+        self._named: List[Tuple[str, ResourceSite]] = []
+        # Acquisition Call nodes already claimed by a statement form.
+        self._claimed: Set[int] = set()
+        # (line, in_finally) of every var.close()-style call, by var.
+        self._closes: Dict[str, Tuple[int, bool]] = {}
+        self._escaped_vars: Set[str] = set()
+
+    def run(self, body: List[ast.stmt]) -> None:
+        for stmt in body:
+            self._walk(stmt, in_handler=False, in_finally=False)
+        for var, site in self._named:
+            close = self._closes.get(var)
+            self.resources.append(ResourceSite(
+                kind=site.kind, api=site.api, var=var,
+                in_function=site.in_function, line=site.line, col=site.col,
+                line_text=site.line_text, in_with=False,
+                escapes=var in self._escaped_vars,
+                closed=close is not None,
+                close_line=close[0] if close else 0,
+                close_in_finally=close[1] if close else False))
+
+    # -- the walk ------------------------------------------------------------
+
+    def _walk(self, node: ast.AST, in_handler: bool,
+              in_finally: bool) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            return
+        if isinstance(node, ast.Raise):
+            self._raise(node, in_handler)
+        elif isinstance(node, ast.Try):
+            self._try(node, in_handler, in_finally)
+            return
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            self._with_items(node)
+        elif isinstance(node, ast.Assign):
+            self._assign(node)
+        elif isinstance(node, (ast.Return, ast.Expr)) and \
+                getattr(node, "value", None) is not None:
+            self._value_stmt(node)
+        elif isinstance(node, ast.Call):
+            self._call(node, in_finally)
+        for child in ast.iter_child_nodes(node):
+            self._walk(child, in_handler, in_finally)
+
+    def _try(self, node: ast.Try, in_handler: bool,
+             in_finally: bool) -> None:
+        start = node.body[0].lineno if node.body else node.lineno
+        end = (getattr(node.body[-1], "end_lineno", None) or start) \
+            if node.body else start
+        if node.handlers or node.finalbody:
+            self.spans.append(ProtectedSpan(
+                in_function=self.qualname, start=start, end=end,
+                has_finally=bool(node.finalbody),
+                has_handlers=bool(node.handlers)))
+        for handler in node.handlers:
+            caught, is_bare = _caught_names(handler)
+            self.handlers.append(HandlerInfo(
+                in_function=self.qualname, caught=caught, is_bare=is_bare,
+                try_start=start, try_end=end, line=handler.lineno,
+                col=handler.col_offset + 1,
+                line_text=_line_text(self.lines, handler.lineno),
+                reraises=self._suite_reraises(handler.body),
+                raises_new=self._suite_raises_new(handler.body),
+                logs=self._suite_logs(handler.body),
+                returns=self._suite_returns(handler.body)))
+        for child in node.body:
+            self._walk(child, in_handler, in_finally)
+        for handler in node.handlers:
+            for child in handler.body:
+                self._walk(child, True, in_finally)
+        for child in node.orelse:
+            self._walk(child, in_handler, in_finally)
+        for child in node.finalbody:
+            self._walk(child, in_handler, True)
+
+    def _raise(self, node: ast.Raise, in_handler: bool) -> None:
+        if node.exc is None:
+            self.raises.append(RaiseSite(
+                exc_type="", in_function=self.qualname,
+                in_handler=in_handler, line=node.lineno,
+                col=node.col_offset + 1,
+                line_text=_line_text(self.lines, node.lineno),
+                is_reraise=True))
+            return
+        name = _exc_type_name(node.exc)
+        if not name:
+            return  # unknowable (a variable): under-approximate
+        self.raises.append(RaiseSite(
+            exc_type=name, in_function=self.qualname,
+            in_handler=in_handler, line=node.lineno,
+            col=node.col_offset + 1,
+            line_text=_line_text(self.lines, node.lineno)))
+
+    # -- handler-suite classification ---------------------------------------
+
+    @staticmethod
+    def _suite_walk(body: List[ast.stmt]):
+        for stmt in body:
+            for sub in ast.walk(stmt):
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                    ast.Lambda)):
+                    break
+                yield sub
+
+    def _suite_reraises(self, body: List[ast.stmt]) -> bool:
+        return any(isinstance(sub, ast.Raise) and sub.exc is None
+                   for sub in self._suite_walk(body))
+
+    def _suite_raises_new(self, body: List[ast.stmt]) -> bool:
+        return any(isinstance(sub, ast.Raise) and sub.exc is not None
+                   for sub in self._suite_walk(body))
+
+    def _suite_logs(self, body: List[ast.stmt]) -> bool:
+        for sub in self._suite_walk(body):
+            if not isinstance(sub, ast.Call):
+                continue
+            func = sub.func
+            name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else "")
+            if name in _LOG_CALL_NAMES:
+                return True
+        return False
+
+    def _suite_returns(self, body: List[ast.stmt]) -> bool:
+        return any(isinstance(sub, ast.Return)
+                   for sub in self._suite_walk(body))
+
+    # -- resources -----------------------------------------------------------
+
+    def _record_resource(self, node: ast.Call, kind: str, api: str,
+                         var: str = "", in_with: bool = False,
+                         escapes: bool = False) -> None:
+        self._claimed.add(id(node))
+        site = ResourceSite(
+            kind=kind, api=api, var=var, in_function=self.qualname,
+            line=node.lineno, col=node.col_offset + 1,
+            line_text=_line_text(self.lines, node.lineno),
+            in_with=in_with, escapes=escapes)
+        if var and not in_with and not escapes:
+            self._named.append((var, site))
+        else:
+            self.resources.append(site)
+
+    def _with_items(self, node: ast.AST) -> None:
+        for item in node.items:  # type: ignore[attr-defined]
+            expr = item.context_expr
+            # ``with closing(make())`` / ``with Pool() as p`` both manage.
+            calls = [expr] if isinstance(expr, ast.Call) else []
+            if isinstance(expr, ast.Call) and \
+                    isinstance(expr.func, (ast.Name, ast.Attribute)):
+                calls.extend(arg for arg in expr.args
+                             if isinstance(arg, ast.Call))
+            for call in calls:
+                kind, api = _acquisition_kind(call)
+                if kind:
+                    self._record_resource(call, kind, api, in_with=True)
+
+    def _assign(self, node: ast.Assign) -> None:
+        value = node.value
+        if isinstance(value, ast.Call):
+            kind, api = _acquisition_kind(value)
+            if kind:
+                target = node.targets[0] if len(node.targets) == 1 else None
+                if isinstance(target, ast.Name):
+                    self._record_resource(value, kind, api, var=target.id)
+                else:
+                    # self.x = open(...) / a, b = ... : ownership escapes
+                    # the function body (the closer lives elsewhere).
+                    self._record_resource(value, kind, api, escapes=True)
+        # ``self.x = var`` / containers holding var: the handle escapes.
+        for name in self._direct_names(value):
+            if any(not isinstance(t, ast.Name) for t in node.targets):
+                self._escaped_vars.add(name)
+
+    def _value_stmt(self, node: ast.AST) -> None:
+        value = node.value  # type: ignore[attr-defined]
+        if isinstance(node, ast.Return):
+            if isinstance(value, ast.Call):
+                kind, api = _acquisition_kind(value)
+                if kind:
+                    self._record_resource(value, kind, api, escapes=True)
+            for name in self._direct_names(value):
+                self._escaped_vars.add(name)
+
+    @staticmethod
+    def _direct_names(value: Optional[ast.AST]) -> List[str]:
+        """Bare names appearing directly in a value expression."""
+        if value is None:
+            return []
+        roots = [value]
+        if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+            roots = list(value.elts)
+        elif isinstance(value, ast.Dict):
+            roots = [v for v in value.values if v is not None]
+        return [root.id for root in roots if isinstance(root, ast.Name)]
+
+    def _call(self, node: ast.Call, in_finally: bool) -> None:
+        func = node.func
+        # var.close()/terminate()/shutdown(): the matching release site.
+        if isinstance(func, ast.Attribute) and \
+                func.attr in _CLOSE_METHODS and \
+                isinstance(func.value, ast.Name):
+            var = func.value.id
+            if var not in self._closes or in_finally:
+                self._closes[var] = (node.lineno, in_finally)
+        # Handles passed to or acquired inside another call escape:
+        # ownership is transferred to the callee.
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            if isinstance(arg, ast.Name):
+                self._escaped_vars.add(arg.id)
+            elif isinstance(arg, ast.Call) and id(arg) not in self._claimed:
+                kind, api = _acquisition_kind(arg)
+                if kind:
+                    self._record_resource(arg, kind, api, escapes=True)
+        # Anything not claimed by a statement form by the time the walk
+        # reaches it is a dropped handle (``open(p)`` as a bare call).
+        kind, api = _acquisition_kind(node)
+        if kind and id(node) not in self._claimed:
+            self._record_resource(node, kind, api)
+
+
 # ---- module extraction -----------------------------------------------------
 
 
@@ -1026,6 +1488,7 @@ def extract_module_effects(path: str, source: str,
     lines = source.splitlines()
     declared_lines = parse_declared_caches(source)
     guard_pragmas = parse_guarded_pragmas(source)
+    boundary_lines = parse_error_boundaries(source)
 
     # Module-level bindings: which names hold mutable containers, which
     # definitions carry the declared-cache pragma.
@@ -1107,7 +1570,24 @@ def extract_module_effects(path: str, source: str,
     spawn_sites: List[SpawnSite] = []
     lock_ops: List[LockOp] = []
     file_writes: List[FileWrite] = []
+    raise_sites: List[RaiseSite] = []
+    handler_infos: List[HandlerInfo] = []
+    protected_spans: List[ProtectedSpan] = []
+    resource_sites: List[ResourceSite] = []
+    error_boundaries: Set[str] = set()
     nested: Set[str] = set()
+
+    # Project class definitions (for exception-hierarchy resolution).
+    exception_classes: List[ExceptionClassInfo] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.bases:
+            bases = tuple(
+                name for name in
+                (dotted_name(base).rsplit(".", 1)[-1]
+                 for base in node.bases) if name)
+            if bases:
+                exception_classes.append(ExceptionClassInfo(
+                    name=node.name, bases=bases, line=node.lineno))
 
     def analyze(func: ast.AST, class_name: str) -> None:
         assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
@@ -1147,6 +1627,12 @@ def extract_module_effects(path: str, source: str,
         conc = _ConcurrencyCollector(lines, source, qualname, lock_spans,
                                      spawn_sites, lock_ops, file_writes)
         conc.run(func.body)
+        errflow = _ErrorFlowCollector(lines, source, qualname, raise_sites,
+                                      handler_infos, protected_spans,
+                                      resource_sites)
+        errflow.run(func.body)
+        if func.lineno in boundary_lines:
+            error_boundaries.add(qualname)
 
     def walk_body(body: List[ast.stmt], class_name: str = "",
                   in_function: bool = False) -> None:
@@ -1188,6 +1674,10 @@ def extract_module_effects(path: str, source: str,
             lines, source, f"{norm}::<module>", _LockSpans(module_stmts),
             spawn_sites, lock_ops, file_writes)
         conc.run(module_stmts)
+        errflow = _ErrorFlowCollector(
+            lines, source, f"{norm}::<module>", raise_sites, handler_infos,
+            protected_spans, resource_sites)
+        errflow.run(module_stmts)
 
     return ModuleEffects(
         path=norm,
@@ -1203,6 +1693,12 @@ def extract_module_effects(path: str, source: str,
         guarded_bindings=tuple(guarded),
         file_writes=tuple(file_writes),
         lock_globals=frozenset(lock_global_names),
+        raise_sites=tuple(raise_sites),
+        handlers=tuple(handler_infos),
+        protected_spans=tuple(protected_spans),
+        resource_sites=tuple(resource_sites),
+        exception_classes=tuple(exception_classes),
+        error_boundaries=frozenset(error_boundaries),
     )
 
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.lint.project.effects import EffectPropagator
+from repro.lint.project.errflow import ErrorFlow
 from repro.lint.project.summary import (
     CallSite, DataclassInfo, FunctionInfo, ModuleSummary)
 
@@ -66,6 +67,7 @@ class ProjectModel:
         # effect engine anchors findings on definitions wherever they live.
         self.functions_by_qualname: Dict[str, FunctionInfo] = {}
         self._effects: Optional[EffectPropagator] = None
+        self._errflow: Optional[ErrorFlow] = None
         for summary in self.summaries:
             test = is_test_path(summary.path)
             for info in summary.functions:
@@ -97,6 +99,12 @@ class ProjectModel:
         if self._effects is None:
             self._effects = EffectPropagator(self)
         return self._effects
+
+    def errflow(self) -> ErrorFlow:
+        """The escaping-exception closure, built once per model on demand."""
+        if self._errflow is None:
+            self._errflow = ErrorFlow(self)
+        return self._errflow
 
     # ---- agreed facts across ambiguous candidates ------------------------
 

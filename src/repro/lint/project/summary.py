@@ -26,7 +26,9 @@ from repro.lint.project.effects import ModuleEffects, extract_module_effects
 #: even if the source of the lint package somehow hashes equal.
 #: 4: ModuleEffects grew the concurrency model (spawn sites, lock ops,
 #: guarded bindings, persistence writes) for CONC01–CONC04.
-SUMMARY_SCHEMA = 4
+#: 5: ModuleEffects grew the error-flow model (raise sites, handler
+#: spans, resource sites, exception classes) for ERR01–ERR04/RES01.
+SUMMARY_SCHEMA = 5
 
 
 @dataclass(frozen=True)

@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Union
 
 from repro.config import SystemConfig
+from repro.errors import ManifestError
 from repro.version import __version__
 
 PathLike = Union[str, Path]
@@ -98,5 +99,5 @@ def read_manifest(path: PathLike) -> Dict[str, Any]:
     """Load a manifest written by :func:`write_manifest`."""
     data = json.loads(Path(path).read_text(encoding="utf-8"))
     if not isinstance(data, dict):
-        raise ValueError(f"manifest {path} is not a JSON object")
+        raise ManifestError(f"manifest {path} is not a JSON object")
     return data

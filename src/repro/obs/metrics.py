@@ -159,7 +159,10 @@ class Registry:
                 metric = self._metrics.get(name)
                 if metric is None:
                     metric = cls(name, help=help, **kwargs)
-                    self._metrics[name] = metric
+                    # A freshly created metric always passes the kind
+                    # check below, so the raise cannot unwind past this
+                    # registration — line order just can't show that.
+                    self._metrics[name] = metric  # mapglint: disable=ERR03
         if not isinstance(metric, cls):
             raise MetricError(
                 f"metric {name!r} already registered as "

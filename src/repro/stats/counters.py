@@ -11,6 +11,8 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterator, Mapping, Tuple
 
+from repro.errors import StatsError
+
 
 class CounterSet:
     """A set of monotonically increasing named counters."""
@@ -21,7 +23,7 @@ class CounterSet:
     def add(self, name: str, amount: float = 1.0) -> None:
         """Increase counter ``name`` by ``amount`` (must be >= 0)."""
         if amount < 0:
-            raise ValueError(f"counters are monotonic; cannot add {amount} to {name!r}")
+            raise StatsError(f"counters are monotonic; cannot add {amount} to {name!r}")
         self._counts[name] = self._counts.get(name, 0.0) + amount
 
     def get(self, name: str) -> float:
@@ -107,10 +109,10 @@ class RunningMean:
 def geometric_mean(values: Mapping[str, float]) -> float:
     """Geometric mean over the values of a mapping; requires all values > 0."""
     if not values:
-        raise ValueError("geometric mean of an empty mapping is undefined")
+        raise StatsError("geometric mean of an empty mapping is undefined")
     log_sum = 0.0
     for name, value in values.items():
         if value <= 0.0:
-            raise ValueError(f"geometric mean requires positive values; {name!r} = {value}")
+            raise StatsError(f"geometric mean requires positive values; {name!r} = {value}")
         log_sum += math.log(value)
     return math.exp(log_sum / len(values))

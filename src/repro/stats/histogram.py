@@ -5,6 +5,8 @@ from __future__ import annotations
 import bisect
 from typing import Dict, Iterable, List, Sequence, Tuple
 
+from repro.errors import StatsError
+
 
 class Histogram:
     """Histogram over explicit bucket edges, with exact min/max/sum tracking.
@@ -35,19 +37,19 @@ class Histogram:
     @classmethod
     def linear(cls, low: float, high: float, buckets: int, **kwargs: bool) -> "Histogram":
         if buckets < 1:
-            raise ValueError("need at least one bucket")
+            raise StatsError("need at least one bucket")
         step = (high - low) / buckets
         return cls([low + i * step for i in range(buckets + 1)], **kwargs)
 
     @classmethod
     def exponential(cls, low: float, factor: float, buckets: int, **kwargs: bool) -> "Histogram":
         if low <= 0 or factor <= 1.0:
-            raise ValueError("exponential histogram needs low > 0 and factor > 1")
+            raise StatsError("exponential histogram needs low > 0 and factor > 1")
         return cls([low * factor ** i for i in range(buckets + 1)], **kwargs)
 
     def observe(self, value: float, count: int = 1) -> None:
         if count < 1:
-            raise ValueError("count must be >= 1")
+            raise StatsError("count must be >= 1")
         index = bisect.bisect_right(self._edges, value)
         self._counts[index] += count
         self._n += count
@@ -99,7 +101,7 @@ class Histogram:
     def percentile(self, p: float) -> float:
         """The p-th percentile (0 <= p <= 100)."""
         if not 0.0 <= p <= 100.0:
-            raise ValueError(f"percentile must be in [0, 100], got {p}")
+            raise StatsError(f"percentile must be in [0, 100], got {p}")
         if self._n == 0:
             return 0.0
         if self._keep:

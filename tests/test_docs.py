@@ -55,7 +55,7 @@ def test_linting_md_documents_the_pragmas():
     text = (Path(__file__).parent.parent / "docs" / "LINTING.md") \
         .read_text(encoding="utf-8")
     for pragma in ("mapglint: disable=", "mapglint: declared-cache",
-                   "mapglint: guarded-by="):
+                   "mapglint: guarded-by=", "mapglint: error-boundary"):
         assert pragma in text, f"pragma '{pragma}' undocumented"
 
 

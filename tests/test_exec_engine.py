@@ -12,7 +12,7 @@ import pytest
 
 import repro.exec.tracestore as tracestore_module
 from repro.config import SystemConfig
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ReproError, SweepError
 from repro.exec import JobSpec, ResultCache, SweepRunner, result_to_dict
 from repro.obs import SelfProfiler
 from repro.sim.runner import (
@@ -82,6 +82,57 @@ class TestSweepRunner:
         assert warm.executed == 0
         assert warm.cache_hits == len(specs)
         assert canonical_bytes(first) == canonical_bytes(second)
+
+
+class TestGracefulDegradation:
+    """A failing cell may not take the sweep down with it (ERR01 fix).
+
+    The poison passes ``JobSpec.__post_init__`` (any non-empty profile
+    name does) and fails only inside ``execute`` when ``get_profile``
+    rejects the unknown name — exactly the late-failure shape a pool
+    worker used to re-raise at the join, discarding every in-flight
+    cell.
+    """
+
+    def _specs_with_poison(self, total=20, num_ops=100):
+        config = SystemConfig()
+        specs = [JobSpec(config=with_policy(config, policy),
+                         profile="gcc_like", num_ops=num_ops, seed=seed)
+                 for policy in ("never", "mapg")
+                 for seed in range(total // 2)]
+        poison = JobSpec(config=config, profile="no_such_profile",
+                         num_ops=num_ops, seed=3)
+        return specs[: total - 1] + [poison], poison
+
+    def test_poisoned_cell_leaves_nineteen_in_the_cache(self, tmp_path):
+        specs, poison = self._specs_with_poison()
+        cache = ResultCache(str(tmp_path))
+        runner = SweepRunner(cache=cache)
+        with pytest.raises(SweepError) as excinfo:
+            runner.run(specs)
+        # The aggregate failure names the poisoned cell by its spec key.
+        assert poison.key in str(excinfo.value)
+        assert excinfo.value.failures.keys() == {poison.key}
+        assert isinstance(excinfo.value, ReproError)
+
+        # Every healthy cell completed and landed in the cache: a rerun
+        # without the poison is served entirely from disk.
+        warm = SweepRunner(cache=ResultCache(str(tmp_path)))
+        results = warm.run(specs[:-1])
+        assert warm.executed == 0
+        assert warm.cache_hits == 19
+        assert len(results) == 19
+
+    def test_pool_path_degrades_identically(self, tmp_path):
+        specs, poison = self._specs_with_poison(total=4)
+        cache = ResultCache(str(tmp_path))
+        with pytest.raises(SweepError) as excinfo:
+            SweepRunner(jobs=4, cache=cache).run(specs)
+        assert poison.key in str(excinfo.value)
+
+        warm = SweepRunner(cache=ResultCache(str(tmp_path)))
+        warm.run(specs[:-1])
+        assert warm.executed == 0 and warm.cache_hits == 3
 
 
 class TestWorkerCountInvariance:

@@ -53,6 +53,24 @@ class TestResultCache:
         lint_paths([str(tmp_path / "repro")], cache=cache)
         assert cache.misses == 1 and cache.hits == 0
 
+    def test_effect_schema_bump_invalidates(self, tmp_path, monkeypatch):
+        # The phase-1 effect layout is folded into the cache key on its
+        # own: bumping EFFECT_SCHEMA must orphan every warm entry, or a
+        # new field (e.g. the error-flow model) would deserialize as
+        # missing from stale summaries.
+        write_tree(tmp_path)
+        cache_dir = str(tmp_path / "cache")
+        lint_paths([str(tmp_path / "repro")], cache=ResultCache(cache_dir))
+
+        before = ruleset_version()
+        monkeypatch.setattr(cache_module, "_ruleset_version", None)
+        monkeypatch.setattr(cache_module, "EFFECT_SCHEMA",
+                            cache_module.EFFECT_SCHEMA + 1)
+        assert ruleset_version() != before
+        cache = ResultCache(cache_dir)
+        lint_paths([str(tmp_path / "repro")], cache=cache)
+        assert cache.misses == 1 and cache.hits == 0
+
     def test_corrupt_entry_is_a_miss(self, tmp_path):
         module = write_tree(tmp_path)
         cache = ResultCache(str(tmp_path / "cache"))
