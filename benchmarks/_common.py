@@ -38,7 +38,14 @@ MULTICORE_OPS = 6_000
 # * MAPG_BENCH_CACHE=1  — reuse results across runs via the default
 #   content-addressed cache dir; any other non-empty value is used as the
 #   cache directory itself.
+# * MAPG_BENCH_TELEMETRY=<dir> — attach a SweepRecorder to every
+#   run_sweep() call and write numbered sweep manifests + JSONL event
+#   streams (sweep-0001.json, sweep-0001.events.jsonl, ...) under <dir>,
+#   so a slow bench can be diagnosed cell by cell.
 SWEEP_JOBS = int(os.environ.get("MAPG_BENCH_JOBS", "1"))
+
+_TELEMETRY_DIR = os.environ.get("MAPG_BENCH_TELEMETRY", "")
+_TELEMETRY_SEQ = 0
 
 
 def sweep_cache():
@@ -56,11 +63,30 @@ def run_sweep(specs):
 
     For benches that sweep hand-built configs (F3/F4) rather than going
     through ``run_policy_comparison``; the shared runner means every cell
-    of one workload reuses a single generated trace.
+    of one workload reuses a single generated trace.  With
+    ``MAPG_BENCH_TELEMETRY`` set, each call also leaves a numbered sweep
+    manifest + event stream under that directory (results unchanged —
+    the recorder only observes).
     """
+    global _TELEMETRY_SEQ
     from repro.exec import SweepRunner
 
-    return SweepRunner(jobs=SWEEP_JOBS, cache=sweep_cache()).run(specs)
+    recorder = None
+    if _TELEMETRY_DIR:
+        from repro.obs import SweepRecorder
+
+        recorder = SweepRecorder()
+    try:
+        return SweepRunner(jobs=SWEEP_JOBS, cache=sweep_cache(),
+                           recorder=recorder).run(specs)
+    finally:
+        if recorder is not None:
+            from repro.obs import write_sweep_artifacts
+
+            _TELEMETRY_SEQ += 1
+            write_sweep_artifacts(
+                recorder,
+                Path(_TELEMETRY_DIR) / f"sweep-{_TELEMETRY_SEQ:04d}.json")
 
 RESULTS_DIR = Path(__file__).parent / "results"
 

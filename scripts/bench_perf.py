@@ -29,8 +29,19 @@ Wall clocks are fine here: this is tooling under ``scripts/``, outside
 DET01's simulation scope, and every timing flows through SelfProfiler —
 nothing feeds back into simulated time.
 
-Exit codes: 0 = all enforced bounds hold, 1 = a bound failed,
-2 = the cold/warm result mismatch (cache correctness) tripped.
+Two modes on top of the gates:
+
+* default — the fresh scorecard is also judged against the checked-in
+  baseline (``--baseline``) through :mod:`repro.obs.anomaly`; anomalies
+  and staleness warnings print, an ``anomaly_report.json`` is written,
+  and ``--fail-on-anomaly`` turns regressions into a failing exit.
+* ``--update-baseline`` — atomically refresh the checked-in baseline
+  (including its ``environment`` block: git SHA, interpreter, platform)
+  via tmp + ``os.replace`` per CONC04, so the staleness warning clears.
+
+Exit codes: 0 = all enforced bounds hold, 1 = a bound failed (or an
+anomaly under ``--fail-on-anomaly``), 2 = the cold/warm result mismatch
+(cache correctness) tripped.
 """
 
 from __future__ import annotations
@@ -143,6 +154,18 @@ def run_benchmarks(num_ops: int, sweep_ops: int, jobs: int,
     return rows
 
 
+def _write_json_atomic(payload: Dict[str, Any], path: str) -> None:
+    """Write a scorecard via tmp + ``os.replace`` (CONC04): a reader —
+    the anomaly watcher, CI — racing the writer never sees a torn file."""
+    directory = os.path.dirname(os.path.abspath(path))
+    tmp_path = os.path.join(directory,
+                            f".{os.path.basename(path)}.{os.getpid()}.tmp")
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp_path, path)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Run the perf benchmarks, write the scorecard, enforce the gates."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -162,6 +185,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--min-parallel-speedup", type=float, default=0.0,
                         help="enforce sweep_parallel >= this x serial "
                              "(default 0 = record only; needs real cores)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help=f"refresh the checked-in baseline (--baseline "
+                             f"path, default {DEFAULT_OUTPUT}) atomically, "
+                             f"environment block included, instead of "
+                             f"comparing against it")
+    parser.add_argument("--baseline", default=DEFAULT_OUTPUT,
+                        help="baseline scorecard to compare against / "
+                             "refresh")
+    parser.add_argument("--anomaly-report", default="anomaly_report.json",
+                        help="where the baseline comparison writes its "
+                             "report")
+    parser.add_argument("--anomaly-band", action="append", default=None,
+                        metavar="METRIC=TOL[:higher|lower]",
+                        help="override the anomaly watch list (repeatable; "
+                             "see `python -m repro watch-perf --help`)")
+    parser.add_argument("--fail-on-anomaly", action="store_true",
+                        help="exit nonzero when the baseline comparison "
+                             "finds a regression (default: report only)")
     args = parser.parse_args(argv)
 
     num_ops = 4_000 if args.quick else 30_000
@@ -180,9 +221,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "environment": environment_manifest(),
         "self_profile": profiler.report(),
     }
-    with open(args.output, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    output_path = args.baseline if args.update_baseline else args.output
+    _write_json_atomic(payload, output_path)
 
     ops_per_sec = rows["single_core"]["ops_per_sec"]
     warm_speedup = rows["cache_warm"]["speedup_vs_cold"]
@@ -195,7 +235,39 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(f"cache cold {rows['cache_cold']['wall_s']:.3f}s | "
           f"warm {rows['cache_warm']['wall_s']:.3f}s "
           f"(speedup {warm_speedup:.1f}x)")
-    print(f"scorecard -> {args.output}")
+    print(f"scorecard -> {output_path}"
+          + (" (baseline refreshed, environment block included)"
+             if args.update_baseline else ""))
+
+    anomaly_failed = False
+    if not args.update_baseline and os.path.isfile(args.baseline) \
+            and os.path.abspath(args.baseline) \
+            != os.path.abspath(output_path):
+        from repro.obs import (compare_to_baseline, load_perf_document,
+                               parse_band, write_anomaly_report)
+
+        bands = ([parse_band(text) for text in args.anomaly_band]
+                 if args.anomaly_band else None)
+        report = compare_to_baseline(payload,
+                                     load_perf_document(args.baseline),
+                                     bands=bands)
+        write_anomaly_report(report, args.anomaly_report)
+        for warning in report["warnings"]:
+            print(f"warning: {warning}", file=sys.stderr)
+        if report["ok"]:
+            print(f"baseline check ok "
+                  f"({len(report['checked'])} metric(s) within bands); "
+                  f"report -> {args.anomaly_report}")
+        else:
+            for anomaly in report["anomalies"]:
+                print(f"ANOMALY {anomaly['metric']}: baseline "
+                      f"{anomaly['baseline']:g} -> observed "
+                      f"{anomaly['observed']:g} "
+                      f"(ratio {anomaly['ratio']:.3f}, "
+                      f"band {anomaly['band']:g})", file=sys.stderr)
+            print(f"anomaly report -> {args.anomaly_report}",
+                  file=sys.stderr)
+            anomaly_failed = args.fail_on_anomaly
 
     if not rows["cache_warm"]["identical_to_cold"]:
         print("FAIL: warm-cache results are not byte-identical to cold",
@@ -214,6 +286,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             parallel_speedup < args.min_parallel_speedup:
         print(f"FAIL: parallel speedup {parallel_speedup:.2f}x "
               f"< {args.min_parallel_speedup:.2f}x", file=sys.stderr)
+        failed = True
+    if anomaly_failed:
+        print("FAIL: baseline comparison found perf anomalies "
+              "(--fail-on-anomaly)", file=sys.stderr)
         failed = True
     return 1 if failed else 0
 

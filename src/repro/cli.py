@@ -8,10 +8,14 @@ downstream user can reproduce results without writing Python:
                   to taste)
 * ``circuit``   — sleep-transistor characterization per technology node
 * ``sweep``     — one-dimensional sensitivity sweeps (bet / wake / dram /
-                  temperature)
+                  temperature), optionally parallel/cached/instrumented
+                  (``--jobs``, ``--cache``, ``--telemetry-out``)
 * ``multicore`` — a multiprogrammed mix with optional TAP wake tokens
 * ``profiles``  — list the built-in workload profiles
 * ``trace``     — generate a trace file, or summarize an existing one
+* ``watch-perf``— compare a bench scorecard / self-profile / sweep
+                  manifest against ``BENCH_sim_throughput.json`` and emit
+                  ``anomaly_report.json`` (see ``docs/PERFORMANCE.md``)
 * ``lint``      — mapglint static analysis (unit safety, determinism,
                   FSM legality, float equality); see ``docs/LINTING.md``
 
@@ -103,6 +107,20 @@ def build_parser() -> argparse.ArgumentParser:
                            help="sweep points (scale factors, or C for temperature)")
     sweep_cmd.add_argument("--ops", type=int, default=10_000)
     sweep_cmd.add_argument("--seed", type=int, default=1)
+    sweep_cmd.add_argument("--jobs", type=int, default=1,
+                           help="worker processes for the sweep engine; "
+                                "results are byte-identical at any count")
+    sweep_cmd.add_argument("--cache", metavar="DIR", nargs="?",
+                           const=".mapg-result-cache", default=None,
+                           help="memoize cells in a result cache "
+                                "(default dir: .mapg-result-cache)")
+    sweep_cmd.add_argument("--telemetry-out", metavar="PATH",
+                           help="write a sweep manifest (spec keys, "
+                                "per-cell hit/miss/timing records, "
+                                "counters) to PATH plus a JSONL lifecycle "
+                                "event stream (*.events.jsonl) next to it; "
+                                "a live progress/ETA line is shown on TTY "
+                                "stderr")
 
     multi_cmd = commands.add_parser(
         "multicore", help="multiprogrammed mix with optional TAP tokens (F7)")
@@ -138,6 +156,39 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--seed", type=int, default=1)
     info = trace_actions.add_parser("info", help="summarize a trace file")
     info.add_argument("path")
+
+    watch_cmd = commands.add_parser(
+        "watch-perf",
+        help="compare observed perf against the bench baseline and emit "
+             "anomaly_report.json")
+    watch_cmd.add_argument("observed",
+                           help="JSON document to judge: a bench scorecard "
+                                "(scripts/bench_perf.py output), a "
+                                "self-profile report, or a sweep manifest "
+                                "(sweep --telemetry-out)")
+    watch_cmd.add_argument("--baseline", default="BENCH_sim_throughput.json",
+                           help="baseline scorecard (default: the "
+                                "checked-in BENCH_sim_throughput.json)")
+    watch_cmd.add_argument("--report", default="anomaly_report.json",
+                           metavar="PATH",
+                           help="where to write the machine-readable "
+                                "anomaly report (atomic)")
+    watch_cmd.add_argument("--band", action="append", default=None,
+                           metavar="METRIC=TOL[:higher|lower]",
+                           help="override the watch list, e.g. "
+                                "single_core.ops_per_sec=0.3 or "
+                                "sweep_serial.wall_s=0.5:lower; repeatable")
+    watch_cmd.add_argument("--anomalies-log", default=None, metavar="PATH",
+                           help="on regression, append one issue row per "
+                                "anomaly to this local JSONL history "
+                                "(e.g. ANOMALIES.jsonl)")
+    watch_cmd.add_argument("--archive-trace", default=None, metavar="TRACE",
+                           help="on regression, copy this Perfetto trace "
+                                "into --archive-dir as evidence")
+    watch_cmd.add_argument("--archive-dir", default="anomaly-artifacts",
+                           help="destination for archived traces")
+    watch_cmd.add_argument("--json", action="store_true",
+                           help="print the anomaly report JSON to stdout")
 
     # ``lint`` is declared for --help discoverability; its arguments are
     # forwarded verbatim to repro.lint.cli in main() before parsing, since
@@ -345,27 +396,64 @@ _SWEEP_DEFAULTS = {
 }
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
-    values = args.values or _SWEEP_DEFAULTS[args.axis]
+def _sweep_specs(axis: str, values: Sequence[float], workload: str,
+                 num_ops: int, seed: int) -> List["object"]:
+    """The sweep as JobSpecs: per value, a never-gate cell then a mapg
+    cell, with the swept knob applied exactly as the table expects."""
+    from repro.exec import JobSpec
+
     base = SystemConfig()
-    rows = []
+    specs = []
     for value in values:
         temperature = 85.0
         config = base
         overrides = {}
-        if args.axis == "bet":
+        if axis == "bet":
             overrides["bet_scale"] = value
-        elif args.axis == "wake":
+        elif axis == "wake":
             overrides["wake_scale"] = value
-        elif args.axis == "dram":
+        elif axis == "dram":
             config = base.replace(dram=base.dram.scaled(value))
         else:
             temperature = value
-        never = run_workload(with_policy(config, "never"), args.workload,
-                             args.ops, seed=args.seed, temperature_c=temperature)
-        mapg = run_workload(with_policy(config, "mapg", **overrides),
-                            args.workload, args.ops, seed=args.seed,
-                            temperature_c=temperature)
+        specs.append(JobSpec(config=with_policy(config, "never"),
+                             profile=workload, num_ops=num_ops, seed=seed,
+                             temperature_c=temperature))
+        specs.append(JobSpec(config=with_policy(config, "mapg", **overrides),
+                             profile=workload, num_ops=num_ops, seed=seed,
+                             temperature_c=temperature))
+    return specs
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.exec import ResultCache, SweepRunner
+
+    values = tuple(args.values or _SWEEP_DEFAULTS[args.axis])
+    specs = _sweep_specs(args.axis, values, args.workload, args.ops,
+                         args.seed)
+    recorder = None
+    if args.telemetry_out:
+        from repro.obs import SweepRecorder
+
+        recorder = SweepRecorder(progress=sys.stderr)
+    cache = ResultCache(args.cache) if args.cache else None
+    runner = SweepRunner(jobs=args.jobs, cache=cache, recorder=recorder)
+    try:
+        results = runner.run(specs)
+    finally:
+        # Telemetry lands even when cells fail — the manifest's failure
+        # records are the evidence trail for the SweepError diagnosis.
+        if recorder is not None:
+            from repro.obs import write_sweep_artifacts
+
+            manifest_path, events_path = write_sweep_artifacts(
+                recorder, args.telemetry_out)
+            print(f"wrote sweep telemetry to {manifest_path} and "
+                  f"{events_path}", file=sys.stderr)
+    rows = []
+    for index, value in enumerate(values):
+        never = results[2 * index]
+        mapg = results[2 * index + 1]
         delta = mapg.compare(never)
         rows.append([
             f"{value:g}",
@@ -380,6 +468,48 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
          "EDP ratio", "sleep time"],
         rows, title=f"{args.axis} sweep on {args.workload}"))
     return 0
+
+
+def _cmd_watch_perf(args: argparse.Namespace) -> int:
+    from repro.obs import (append_anomaly_rows, archive_trace,
+                           compare_to_baseline, load_perf_document,
+                           parse_band, write_anomaly_report)
+
+    observed = load_perf_document(args.observed)
+    baseline = load_perf_document(args.baseline)
+    bands = ([parse_band(text) for text in args.band]
+             if args.band else None)
+    report = compare_to_baseline(observed, baseline, bands=bands)
+    report_path = write_anomaly_report(report, args.report)
+    for warning in report["warnings"]:
+        print(f"warning: {warning}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    if report["ok"]:
+        checked = ", ".join(report["checked"]) or "none"
+        if not args.json:
+            print(f"perf ok: metrics within bands ({checked}); "
+                  f"report -> {report_path}")
+        return 0
+    for anomaly in report["anomalies"]:
+        print(f"ANOMALY {anomaly['metric']}: baseline "
+              f"{anomaly['baseline']:g} -> observed "
+              f"{anomaly['observed']:g} (ratio {anomaly['ratio']:.3f}, "
+              f"band {anomaly['band']:g}, {anomaly['direction']} is "
+              f"better)", file=sys.stderr)
+    if args.anomalies_log:
+        appended = append_anomaly_rows(report, args.anomalies_log)
+        print(f"appended {appended} row(s) to {args.anomalies_log}",
+              file=sys.stderr)
+    if args.archive_trace:
+        destination = archive_trace(args.archive_trace, args.archive_dir)
+        if destination is not None:
+            print(f"archived trace to {destination}", file=sys.stderr)
+        else:
+            print(f"warning: trace {args.archive_trace} not found; "
+                  f"nothing archived", file=sys.stderr)
+    print(f"anomaly report -> {report_path}", file=sys.stderr)
+    return 1
 
 
 def _cmd_multicore(args: argparse.Namespace) -> int:
@@ -494,6 +624,7 @@ _COMMANDS = {
     "profiles": _cmd_profiles,
     "variation": _cmd_variation,
     "trace": _cmd_trace,
+    "watch-perf": _cmd_watch_perf,
 }
 
 

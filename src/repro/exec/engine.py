@@ -19,11 +19,18 @@ cells and returns their results **in input order**, built in three steps:
 
 Nothing here reads the wall clock or draws randomness: scheduling order
 cannot leak into results because every cell is hermetic by construction.
+Sweep telemetry (``recorder=``) keeps that contract: every emission is
+behind a single ``self._obs.enabled`` attribute check, all timestamps
+live inside :mod:`repro.obs.sweep` (this module stays clock-free under
+DET01), and worker identities ride back as plain dicts the parent strips
+before results merge — so output is byte-identical with the recorder
+attached or not, at any ``jobs`` count.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -31,6 +38,8 @@ from repro.errors import ConfigError, SweepError
 from repro.exec.cache import ResultCache, result_from_dict, result_to_dict
 from repro.exec.jobspec import JobSpec
 from repro.exec.tracestore import TraceStore
+from repro.exec.version import simulation_version
+from repro.obs.sweep import NULL_SWEEP_RECORDER, NullSweepRecorder
 from repro.sim.results import SimulationResult
 
 # One trace store per pool worker, lazily built on the first task so the
@@ -63,18 +72,39 @@ def _execute_payload(item: "Tuple[str, Dict[str, Any]]"  # mapglint: error-bound
     return key, result_to_dict(result)
 
 
+def _execute_payload_observed(item: "Tuple[str, Dict[str, Any]]"
+                              ) -> "Tuple[str, Dict[str, Any]]":
+    """Telemetry variant of :func:`_execute_payload`: same execution, plus
+    the worker's identity riding back under ``__mapg_obs__`` — a plain
+    dict, so the payload stays PAR01-picklable.  The parent pops the key
+    before rebuilding the result, so telemetry can never reach a
+    :class:`~repro.sim.results.SimulationResult`; it exists only so the
+    sweep manifest can attribute cells to workers (utilization).
+    """
+    key, result = _execute_payload(item)
+    result["__mapg_obs__"] = {"worker": os.getpid()}
+    return key, result
+
+
 class SweepRunner:
-    """Run many simulation cells: cached, parallel, deterministic."""
+    """Run many simulation cells: cached, parallel, deterministic.
+
+    ``recorder`` accepts a :class:`~repro.obs.sweep.SweepRecorder`; the
+    default is the shared :data:`~repro.obs.sweep.NULL_SWEEP_RECORDER`,
+    so an unobserved sweep pays one attribute check per lifecycle site.
+    """
 
     def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None,
                  mp_start_method: str = "spawn",
-                 trace_store: Optional[TraceStore] = None) -> None:
+                 trace_store: Optional[TraceStore] = None,
+                 recorder: Optional[NullSweepRecorder] = None) -> None:
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.cache = cache
         self.mp_start_method = mp_start_method
         self.trace_store = trace_store if trace_store is not None else TraceStore()
+        self._obs = recorder if recorder is not None else NULL_SWEEP_RECORDER
         self.executed = 0
         self.cache_hits = 0
 
@@ -91,6 +121,15 @@ class SweepRunner:
         unique: "OrderedDict[str, JobSpec]" = OrderedDict()
         for spec in specs:
             unique.setdefault(spec.key, spec)
+        if self._obs.enabled:
+            self._obs.sweep_begin(
+                cells=len(specs), unique=len(unique), jobs=self.jobs,
+                simulation_version=simulation_version(),
+                cache_attached=self.cache is not None)
+            for key, spec in unique.items():
+                self._obs.cell_queued(key, profile=spec.profile,
+                                      policy=spec.config.gating.policy,
+                                      seed=spec.seed, num_ops=spec.num_ops)
 
         results: Dict[str, SimulationResult] = {}
         if self.cache is not None:
@@ -98,6 +137,10 @@ class SweepRunner:
                 cached = self.cache.load(spec)
                 if cached is not None:
                     results[key] = cached
+                    if self._obs.enabled:
+                        self._obs.cell_cache_hit(key)
+                elif self._obs.enabled:
+                    self._obs.cell_cache_miss(key)
         self.cache_hits += len(results)
 
         # Deterministic dispatch order: cells sharing a trace first (so the
@@ -113,26 +156,57 @@ class SweepRunner:
             payloads = [(key, spec.to_payload()) for key, spec in missing]
             context = multiprocessing.get_context(self.mp_start_method)
             workers = min(self.jobs, len(payloads))
+            if self._obs.enabled:
+                self._obs.dispatch(cells=len(payloads), workers=workers,
+                                   mode="pool")
             with context.Pool(processes=workers) as pool:
-                for key, result_dict in pool.imap_unordered(
-                        _execute_payload, payloads, chunksize=1):
+                if self._obs.enabled:
+                    # The observed worker's only extra effect over the pure
+                    # one is os.getpid() for the telemetry side channel; it
+                    # is stripped below before any result is rebuilt, so the
+                    # PROCESS effect cannot reach simulation output.
+                    result_iter = pool.imap_unordered(  # mapglint: disable=PURE01
+                        _execute_payload_observed, payloads, chunksize=1)
+                else:
+                    result_iter = pool.imap_unordered(
+                        _execute_payload, payloads, chunksize=1)
+                for key, result_dict in result_iter:
+                    obs_info = result_dict.pop("__mapg_obs__", None)
+                    worker_id = int(obs_info["worker"]) if obs_info else 0
                     error = result_dict.get("__mapg_error__")
                     if error is not None:
                         failures[key] = str(error)
+                        if self._obs.enabled:
+                            self._obs.cell_failed(key, failures[key],
+                                                  worker=worker_id)
                     else:
                         results[key] = result_from_dict(result_dict)
+                        if self._obs.enabled:
+                            self._obs.cell_done(key, worker=worker_id)
         else:
+            if missing and self._obs.enabled:
+                self._obs.dispatch(cells=len(missing), workers=1,
+                                   mode="serial")
             for key, spec in missing:
+                if self._obs.enabled:
+                    self._obs.cell_start(key)
                 try:
                     results[key] = spec.execute(trace_store=self.trace_store)
                 except Exception as exc:
                     failures[key] = f"{type(exc).__name__}: {exc}"
+                    if self._obs.enabled:
+                        self._obs.cell_failed(key, failures[key])
+                else:
+                    if self._obs.enabled:
+                        self._obs.cell_done(key)
         self.executed += len(missing)
 
         if self.cache is not None:
             for key, spec in missing:
                 if key in results:
                     self.cache.store(spec, results[key])
+        if self._obs.enabled:
+            self._obs.sweep_end()
         if failures:
             raise SweepError(failures)
         return [results[spec.key] for spec in specs]

@@ -13,11 +13,14 @@ sources of hidden nondeterminism are flagged:
    ``datetime.now()`` etc. inside ``repro/sim``, ``repro/core``,
    ``repro/cpu``, ``repro/memory``, ``repro/obs``, or ``repro/exec`` leak
    host time into simulated time (for ``repro/exec`` it could leak into
-   scheduling, which must stay content-addressed).  One module is
+   scheduling, which must stay content-addressed).  Three modules are
    allowlisted: ``repro/obs/profile.py`` *is* the self-profiling harness,
-   whose whole job is measuring the simulator's own wall time and memory
-   — it reports about the host, never into the simulation (see
-   docs/OBSERVABILITY.md).
+   whose whole job is measuring the simulator's own wall time and memory;
+   ``repro/obs/sweep.py`` timestamps sweep lifecycle events (cells/sec,
+   ETA) the same way; and ``repro/obs/anomaly.py`` judges those host
+   measurements against the bench baseline.  All three report *about*
+   the host, never into the simulation (see docs/OBSERVABILITY.md) —
+   OBS01 separately proves their values cannot reach results.
 
 3. **Set iteration** (``repro/sim``, ``repro/core``, and ``repro/exec``)
    — iterating a set
@@ -63,9 +66,11 @@ _WALL_CLOCK = {
 
 _SIM_PACKAGES = ("repro/sim", "repro/core", "repro/cpu", "repro/memory",
                  "repro/obs", "repro/exec")
-# Modules exempt from the wall-clock check: the self-profiler measures the
-# host on purpose and is the single blessed home for perf_counter et al.
-_WALL_CLOCK_ALLOWLIST = ("repro/obs/profile.py",)
+# Modules exempt from the wall-clock check: the self-profiler and the
+# sweep/anomaly telemetry measure the host on purpose — the blessed homes
+# for perf_counter et al.  Everything else in obs/exec stays clock-free.
+_WALL_CLOCK_ALLOWLIST = ("repro/obs/profile.py", "repro/obs/sweep.py",
+                         "repro/obs/anomaly.py")
 _SET_SCOPE = ("repro/sim", "repro/core", "repro/exec")
 
 
@@ -92,8 +97,8 @@ def _is_numpy_random_chain(node: ast.Attribute) -> bool:
 class DeterminismRule(LintRule):
     rule_id = "DET01"
     summary = ("no global-RNG calls, no wall-clock reads in sim/obs/exec "
-               "code (repro/obs/profile.py allowlisted), no set iteration "
-               "in repro/sim, repro/core, and repro/exec")
+               "code (obs profile/sweep/anomaly modules allowlisted), no "
+               "set iteration in repro/sim, repro/core, and repro/exec")
     default_severity = Severity.ERROR
 
     def visit_Call(self, node: ast.Call) -> None:

@@ -7,8 +7,11 @@ way in simulation code:
 
 1. **Guarded emission** — every recorder/metrics call (``span``,
    ``instant``, ``sample``, ``clear``, ``inc``, ``observe``, ``set``,
-   ``add``, and the ``counter``/``gauge``/``histogram`` get-or-create
-   calls) must sit under the ``enabled`` fast-path: inside
+   ``add``, the ``counter``/``gauge``/``histogram`` get-or-create
+   calls, and the sweep-telemetry lifecycle sinks ``sweep_begin`` /
+   ``cell_queued`` / ``cell_cache_hit`` / ``cell_cache_miss`` /
+   ``dispatch`` / ``cell_start`` / ``cell_done`` / ``cell_failed`` /
+   ``sweep_end``) must sit under the ``enabled`` fast-path: inside
    ``if X.enabled:`` (compound ``and`` conditions count) or after an
    ``if not X.enabled: return`` early exit.  A private helper whose every
    non-test call site is itself guarded inherits the guard — the pattern
@@ -42,6 +45,10 @@ from repro.lint.project.summary import CallSite, FunctionInfo
 _EMISSION_METHODS = frozenset({
     "span", "instant", "sample", "clear", "inc", "observe", "set", "add",
     "counter", "gauge", "histogram",
+    # SweepRecorder lifecycle sinks (repro/obs/sweep.py) — emitted by the
+    # exec engine, so sweeps pay one attribute check when unobserved.
+    "sweep_begin", "cell_queued", "cell_cache_hit", "cell_cache_miss",
+    "dispatch", "cell_start", "cell_done", "cell_failed", "sweep_end",
 })
 
 _ALLOWED_TARGET_PREFIXES = ("_m_", "_obs")

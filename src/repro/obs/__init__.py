@@ -12,9 +12,29 @@ The simulator's evidence layer (see ``docs/OBSERVABILITY.md``):
   config digest, seed, workload, git SHA, and package version.
 * :mod:`repro.obs.runlog`   — structured JSONL logs.
 * :mod:`repro.obs.profile`  — simulator self-profiling (events/sec, wall
-  time per stage, peak RSS); the only module allowed the wall clock.
+  time per stage, peak RSS); wall-clock allowed (DET01 allowlist).
+* :mod:`repro.obs.sweep`    — ``SweepRecorder`` sweep-scale telemetry:
+  per-cell lifecycle events, JSONL event stream, sweep manifest, live
+  progress; ``NULL_SWEEP_RECORDER`` is the free disabled default.
+  Wall-clock allowed — host telemetry, outside the cycle domain.
+* :mod:`repro.obs.anomaly`  — perf-anomaly watcher: tolerance-band
+  comparison of profiles/scorecards/sweeps against the checked-in
+  baseline, ``anomaly_report.json`` + quick actions.
 """
 
+from repro.obs.anomaly import (
+    ANOMALY_SCHEMA,
+    DEFAULT_BANDS,
+    ToleranceBand,
+    append_anomaly_rows,
+    archive_trace,
+    compare_to_baseline,
+    environment_warnings,
+    flatten_metrics,
+    load_perf_document,
+    parse_band,
+    write_anomaly_report,
+)
 from repro.obs.manifest import (
     MANIFEST_SCHEMA,
     build_manifest,
@@ -46,33 +66,63 @@ from repro.obs.runlog import (
     write_jsonl,
 )
 from repro.obs.spans import NULL_RECORDER, NullRecorder, SpanRecorder
+from repro.obs.sweep import (
+    NULL_SWEEP_RECORDER,
+    SWEEP_EVENTS_SCHEMA,
+    SWEEP_MANIFEST_SCHEMA,
+    NullSweepRecorder,
+    SweepRecorder,
+    sweep_artifact_paths,
+    validate_sweep_events,
+    validate_sweep_manifest,
+    write_sweep_artifacts,
+)
 
 __all__ = [
+    "ANOMALY_SCHEMA",
+    "DEFAULT_BANDS",
     "MANIFEST_SCHEMA",
     "PROFILE_SCHEMA",
+    "SWEEP_EVENTS_SCHEMA",
+    "SWEEP_MANIFEST_SCHEMA",
     "Counter",
     "Gauge",
     "Histogram",
     "JsonlWriter",
     "MetricError",
     "NULL_RECORDER",
+    "NULL_SWEEP_RECORDER",
     "NullRecorder",
+    "NullSweepRecorder",
     "Registry",
     "SelfProfiler",
     "SpanRecorder",
     "StageTimer",
+    "SweepRecorder",
+    "ToleranceBand",
+    "append_anomaly_rows",
+    "archive_trace",
     "artifact_paths",
     "build_manifest",
+    "compare_to_baseline",
     "config_digest",
     "default_registry",
     "environment_manifest",
+    "environment_warnings",
+    "flatten_metrics",
     "git_revision",
+    "load_perf_document",
     "metrics_to_jsonl",
+    "parse_band",
     "peak_rss_bytes",
     "read_jsonl",
     "read_manifest",
+    "sweep_artifact_paths",
     "to_chrome_trace",
     "validate_chrome_trace",
+    "validate_sweep_events",
+    "validate_sweep_manifest",
+    "write_anomaly_report",
     "write_chrome_trace",
     "write_jsonl",
     "write_manifest",

@@ -1,0 +1,301 @@
+"""Perf-anomaly watcher: compare observed metrics against the baseline.
+
+The checked-in ``BENCH_sim_throughput.json`` scorecard is only useful if
+something *reads* it.  This module is that reader: it flattens a bench
+scorecard, a :class:`~repro.obs.profile.SelfProfiler` report, or a sweep
+manifest (:data:`~repro.obs.sweep.SWEEP_MANIFEST_SCHEMA`) into dotted
+metric names, compares them against the baseline under configurable
+tolerance bands, and emits a machine-readable ``anomaly_report.json``
+naming every regressed metric (baseline, observed, ratio, band).  CI,
+``python -m repro watch-perf``, ``scripts/bench_perf.py``, and the
+future mapg-lab daemon all consume the same artifact.
+
+Design points:
+
+* **Ratios, not deltas.**  A band is a fractional tolerance around the
+  baseline: ``higher``-is-better metrics regress when
+  ``observed < baseline * (1 - tolerance)``; ``lower``-is-better when
+  ``observed > baseline * (1 + tolerance)``.
+* **Staleness warns, never fails.**  A baseline recorded on another
+  commit or another core count is noise, not a regression — the report
+  carries ``warnings`` naming the mismatch and pointing at
+  ``scripts/bench_perf.py --update-baseline``.
+* **Quick actions** for the failure path: archive the Perfetto trace of
+  the offending run and append issue rows to a local ``ANOMALIES.jsonl``
+  so regressions accumulate into a greppable history.
+
+Reports are written atomically (tmp + ``os.replace``, per CONC04) so a
+watcher racing a reader never exposes a torn file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigError, ManifestError
+from repro.obs.manifest import environment_manifest
+from repro.obs.profile import PROFILE_SCHEMA
+from repro.obs.sweep import SWEEP_MANIFEST_SCHEMA
+
+PathLike = Union[str, Path]
+
+ANOMALY_SCHEMA = "mapg.anomaly-report/1"
+
+_DIRECTIONS = ("higher", "lower")
+
+
+@dataclass(frozen=True)
+class ToleranceBand:
+    """One metric to watch: name, fractional tolerance, good direction.
+
+    ``direction="higher"`` means larger observed values are better
+    (throughput); ``"lower"`` means smaller is better (wall time).
+    """
+
+    metric: str
+    tolerance: float
+    direction: str = "higher"
+
+    def __post_init__(self) -> None:
+        if not self.metric:
+            raise ConfigError("tolerance band needs a metric name")
+        if not 0.0 < self.tolerance < 10.0:
+            raise ConfigError(
+                f"band tolerance must be in (0, 10), got {self.tolerance!r}")
+        if self.direction not in _DIRECTIONS:
+            raise ConfigError(
+                f"band direction must be one of {_DIRECTIONS}, "
+                f"got {self.direction!r}")
+
+
+#: Default watch list: the throughput-shaped rows of the bench scorecard
+#: plus sweep-manifest throughput.  Generous bands — the watcher's job is
+#: catching step-function regressions (an accidental O(n^2), a dropped
+#: cache), not 5% jitter on a noisy CI box.
+DEFAULT_BANDS: Tuple[ToleranceBand, ...] = (
+    ToleranceBand("single_core.ops_per_sec", 0.30),
+    ToleranceBand("single_core.events_per_sec", 0.30),
+    ToleranceBand("cache_warm.speedup_vs_cold", 0.50),
+    ToleranceBand("sweep_parallel.speedup_vs_serial", 0.50),
+    ToleranceBand("sweep.cells_per_sec", 0.50),
+)
+
+
+def parse_band(text: str) -> ToleranceBand:
+    """Parse ``METRIC=TOL`` or ``METRIC=TOL:DIRECTION`` (CLI ``--band``)."""
+    metric, sep, rest = text.partition("=")
+    if not sep or not metric:
+        raise ConfigError(
+            f"band {text!r} is not METRIC=TOL[:higher|lower]")
+    tol_text, _, direction = rest.partition(":")
+    try:
+        tolerance = float(tol_text)
+    except ValueError:
+        raise ConfigError(f"band {text!r} has a non-numeric tolerance")
+    return ToleranceBand(metric.strip(), tolerance,
+                         direction.strip() or "higher")
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def flatten_metrics(document: Mapping[str, Any]) -> Dict[str, float]:
+    """Flatten any supported perf document into dotted metric names.
+
+    * bench scorecard rows      -> ``<row>.<field>``
+    * self-profile stages       -> ``<stage>.wall_s`` / ``.events_per_sec``
+      (whether the profile is the document itself or its ``self_profile``
+      embed; row names win on collision since they are the curated view)
+    * sweep-manifest counters   -> ``sweep.<counter>``
+    """
+    metrics: Dict[str, float] = {}
+    rows = document.get("rows")
+    if isinstance(rows, Mapping):
+        for row_name, row in sorted(rows.items()):
+            if isinstance(row, Mapping):
+                for field, value in sorted(row.items()):
+                    if _is_number(value):
+                        metrics[f"{row_name}.{field}"] = float(value)
+    profile: Any = None
+    if document.get("schema") == PROFILE_SCHEMA:
+        profile = document
+    elif isinstance(document.get("self_profile"), Mapping):
+        profile = document["self_profile"]
+    if isinstance(profile, Mapping):
+        stages = profile.get("stages")
+        for stage in stages if isinstance(stages, list) else []:
+            if not isinstance(stage, Mapping) or not stage.get("name"):
+                continue
+            for field in ("wall_s", "events_per_sec"):
+                value = stage.get(field)
+                if _is_number(value):
+                    metrics.setdefault(f"{stage['name']}.{field}",
+                                       float(value))
+    if document.get("schema") == SWEEP_MANIFEST_SCHEMA:
+        counters = document.get("counters")
+        if isinstance(counters, Mapping):
+            for field, value in sorted(counters.items()):
+                if _is_number(value):
+                    metrics[f"sweep.{field}"] = float(value)
+    return metrics
+
+
+def environment_warnings(baseline: Mapping[str, Any]) -> List[str]:
+    """Staleness signals: baseline recorded elsewhere?  Warn, never fail."""
+    warnings: List[str] = []
+    environment = environment_manifest()
+    baseline_env = baseline.get("environment")
+    baseline_env = baseline_env if isinstance(baseline_env, Mapping) else {}
+    baseline_sha = baseline_env.get("git_sha")
+    current_sha = environment.get("git_sha")
+    if baseline_sha and current_sha and baseline_sha != current_sha:
+        warnings.append(
+            f"baseline git_sha {str(baseline_sha)[:12]} != current "
+            f"{str(current_sha)[:12]} — the baseline is stale; refresh "
+            f"with scripts/bench_perf.py --update-baseline")
+    baseline_cpus = baseline.get("cpu_count")
+    current_cpus = os.cpu_count()
+    if baseline_cpus is not None and current_cpus is not None \
+            and baseline_cpus != current_cpus:
+        warnings.append(
+            f"baseline cpu_count {baseline_cpus} != current {current_cpus} "
+            f"— wall-clock and speedup rows are not comparable across "
+            f"machines")
+    return warnings
+
+
+def compare_to_baseline(observed: Mapping[str, Any],
+                        baseline: Mapping[str, Any],
+                        bands: Optional[Sequence[ToleranceBand]] = None
+                        ) -> Dict[str, Any]:
+    """Judge ``observed`` against ``baseline``; returns the anomaly report.
+
+    Metrics absent from either side are *skipped*, not failed — a
+    self-profile document simply has no cache rows.  ``ok`` is True iff
+    no checked metric regressed past its band.
+    """
+    watch = tuple(bands) if bands is not None else DEFAULT_BANDS
+    observed_metrics = flatten_metrics(observed)
+    baseline_metrics = flatten_metrics(baseline)
+    anomalies: List[Dict[str, Any]] = []
+    checked: List[str] = []
+    skipped: List[str] = []
+    for band in watch:
+        observed_value = observed_metrics.get(band.metric)
+        baseline_value = baseline_metrics.get(band.metric)
+        if observed_value is None or baseline_value is None \
+                or baseline_value == 0:
+            skipped.append(band.metric)
+            continue
+        checked.append(band.metric)
+        ratio = observed_value / baseline_value
+        if band.direction == "higher":
+            regressed = ratio < 1.0 - band.tolerance
+        else:
+            regressed = ratio > 1.0 + band.tolerance
+        if regressed:
+            anomalies.append({
+                "metric": band.metric,
+                "baseline": baseline_value,
+                "observed": observed_value,
+                "ratio": round(ratio, 6),
+                "band": band.tolerance,
+                "direction": band.direction,
+            })
+    baseline_env = baseline.get("environment")
+    return {
+        "schema": ANOMALY_SCHEMA,
+        "ok": not anomalies,
+        "anomalies": anomalies,
+        "checked": checked,
+        "skipped": skipped,
+        "warnings": environment_warnings(baseline),
+        "baseline_environment": (dict(baseline_env)
+                                 if isinstance(baseline_env, Mapping)
+                                 else None),
+        "environment": environment_manifest(),
+    }
+
+
+def write_anomaly_report(report: Mapping[str, Any],
+                         path: PathLike) -> Path:
+    """Atomically write a report (tmp + ``os.replace``, per CONC04)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    tmp = target.with_name(f".{target.name}.{os.getpid()}.tmp")
+    tmp.write_text(json.dumps(dict(report), indent=2, sort_keys=True) + "\n",
+                   encoding="utf-8")
+    os.replace(tmp, target)
+    return target
+
+
+def load_perf_document(path: PathLike) -> Dict[str, Any]:
+    """Load a scorecard / profile / sweep manifest, with a typed error."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except ValueError as exc:
+        raise ManifestError(f"{path} is not valid JSON: {exc}")
+    if not isinstance(data, dict):
+        raise ManifestError(f"{path} is not a JSON object")
+    return data
+
+
+# ---- quick actions ----------------------------------------------------------
+
+
+def archive_trace(trace_path: PathLike,
+                  archive_dir: PathLike) -> Optional[Path]:
+    """Copy the offending run's Perfetto trace into ``archive_dir``.
+
+    Returns the destination (uniquified with ``-N`` suffixes so repeated
+    regressions never clobber earlier evidence), or None when the trace
+    does not exist — a missing trace must not mask the real anomaly.
+    """
+    source = Path(trace_path)
+    if not source.is_file():
+        return None
+    directory = Path(archive_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    destination = directory / source.name
+    serial = 1
+    while destination.exists():
+        destination = directory / f"{source.stem}-{serial}{source.suffix}"
+        serial += 1
+    shutil.copy2(source, destination)
+    return destination
+
+
+def append_anomaly_rows(report: Mapping[str, Any],
+                        path: PathLike = "ANOMALIES.jsonl") -> int:
+    """Append one issue row per anomaly to a local JSONL history.
+
+    Each row is self-contained (metric, numbers, both git SHAs) so the
+    history stays greppable after the reports themselves are gone.
+    Returns the number of rows appended.
+    """
+    anomalies = report.get("anomalies")
+    if not isinstance(anomalies, list) or not anomalies:
+        return 0
+    environment = report.get("environment")
+    environment = environment if isinstance(environment, Mapping) else {}
+    baseline_env = report.get("baseline_environment")
+    baseline_env = baseline_env if isinstance(baseline_env, Mapping) else {}
+    target = Path(path)
+    if target.parent != Path("."):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    rows = 0
+    with open(target, "a", encoding="utf-8") as stream:
+        for anomaly in anomalies:
+            row = {"record": "anomaly",
+                   "git_sha": environment.get("git_sha"),
+                   "baseline_git_sha": baseline_env.get("git_sha")}
+            row.update(anomaly)
+            stream.write(json.dumps(row, sort_keys=True) + "\n")
+            rows += 1
+    return rows

@@ -623,6 +623,34 @@ class TestSeededDefects:
         report = lint_paths([str(tmp_path)], rule_ids=["OBS01"])
         assert any(f.rule_id == "OBS01" for f in report.findings)
 
+    def test_seeded_sweep_telemetry_leak_into_result_caught(self, tmp_path):
+        # The PR-8 defect shape: a sweep-telemetry aggregate (cells/sec)
+        # read off the recorder and folded into a SimulationResult field.
+        # The assignment to a non-obs-named target is the tell.
+        self._tree(tmp_path, "repro/exec/myengine.py", """
+            class Runner:
+                def finish(self, result, recorder):
+                    rate = recorder.summary()
+                    result.energy_j = result.energy_j + rate["cells_per_sec"]
+                    return result
+        """)
+        report = lint_paths([str(tmp_path)], rule_ids=["OBS01"])
+        assert any(f.rule_id == "OBS01" and "rate" in f.message
+                   for f in report.findings)
+
+    def test_seeded_unguarded_sweep_lifecycle_emission_caught(self, tmp_path):
+        # The sweep lifecycle sinks joined _EMISSION_METHODS in PR 8:
+        # an engine emitting cell_cache_hit outside the enabled guard
+        # must be flagged like any metrics emission.
+        self._tree(tmp_path, "repro/exec/myengine.py", """
+            class Runner:
+                def probe(self, key, recorder):
+                    recorder.cell_cache_hit(key)
+        """)
+        report = lint_paths([str(tmp_path)], rule_ids=["OBS01"])
+        assert any(f.rule_id == "OBS01" and "cell_cache_hit" in f.message
+                   for f in report.findings)
+
     def test_seeded_lambda_payload_caught(self, tmp_path):
         self._tree(tmp_path, "repro/exec/launcher.py", """
             def fan_out(pool, items):

@@ -140,6 +140,20 @@ class TestDet01WallClock:
         findings = run_lint(source, path="src/repro/exec/engine.py")
         assert rule_ids(findings) == ["DET01"]
 
+    def test_silent_in_allowlisted_obs_modules(self):
+        # The self-profiler and the sweep/anomaly telemetry measure the
+        # host on purpose; they are the only obs/exec modules allowed
+        # perf_counter et al.
+        source = "import time\nstart = time.perf_counter()\n"
+        for module in ("src/repro/obs/profile.py", "src/repro/obs/sweep.py",
+                       "src/repro/obs/anomaly.py"):
+            assert run_lint(source, path=module) == []
+
+    def test_other_obs_modules_stay_clock_free(self):
+        source = "import time\nstart = time.perf_counter()\n"
+        findings = run_lint(source, path="src/repro/obs/spans.py")
+        assert rule_ids(findings) == ["DET01"]
+
 
 class TestDet01SetIteration:
     def test_flags_set_iteration_in_exec_code(self):

@@ -1,0 +1,324 @@
+"""The perf-anomaly watcher: flattening, bands, staleness, quick actions.
+
+The watcher's contract: a doctored slow profile against the checked-in
+baseline must produce an ``anomaly_report.json`` naming the regressed
+metric and a nonzero CLI exit; a healthy profile exits 0; a stale
+baseline (other commit, other core count) warns but never fails.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigError, ManifestError
+from repro.obs import environment_manifest
+from repro.obs.anomaly import (
+    ANOMALY_SCHEMA,
+    DEFAULT_BANDS,
+    ToleranceBand,
+    append_anomaly_rows,
+    archive_trace,
+    compare_to_baseline,
+    environment_warnings,
+    flatten_metrics,
+    load_perf_document,
+    parse_band,
+    write_anomaly_report,
+)
+
+
+def scorecard(ops_per_sec=40_000.0, warm_speedup=120.0, wall_s=2.0,
+              environment=None, cpu_count=None):
+    """A minimal bench-scorecard-shaped document."""
+    return {
+        "schema": "mapg.bench-throughput/1",
+        "cpu_count": cpu_count if cpu_count is not None else os.cpu_count(),
+        "rows": {
+            "single_core": {"ops_per_sec": ops_per_sec,
+                            "events_per_sec": ops_per_sec / 4.0},
+            "sweep_serial": {"wall_s": wall_s},
+            "sweep_parallel": {"speedup_vs_serial": 1.8, "jobs": 4},
+            "cache_warm": {"speedup_vs_cold": warm_speedup,
+                           "identical_to_cold": True},
+        },
+        "environment": (environment if environment is not None
+                        else environment_manifest()),
+        "self_profile": {
+            "schema": "mapg.self-profile/1",
+            "total_wall_s": wall_s,
+            "stages": [{"name": "single_core", "wall_s": wall_s,
+                        "events": 100, "events_per_sec": 50.0}],
+        },
+    }
+
+
+class TestFlattening:
+    def test_scorecard_rows_become_dotted_metrics(self):
+        metrics = flatten_metrics(scorecard(ops_per_sec=1000.0))
+        assert metrics["single_core.ops_per_sec"] == 1000.0
+        assert metrics["sweep_parallel.speedup_vs_serial"] == 1.8
+        # Booleans are not metrics.
+        assert "cache_warm.identical_to_cold" not in metrics
+
+    def test_row_metrics_win_over_profile_stages(self):
+        # The self_profile stage named single_core must not clobber the
+        # curated row of the same name.
+        metrics = flatten_metrics(scorecard(ops_per_sec=1000.0, wall_s=9.0))
+        assert metrics["single_core.events_per_sec"] == 250.0
+
+    def test_bare_self_profile_document(self):
+        report = {"schema": "mapg.self-profile/1", "total_wall_s": 1.0,
+                  "stages": [{"name": "simulate", "wall_s": 1.0,
+                              "events": 5000, "events_per_sec": 5000.0}]}
+        metrics = flatten_metrics(report)
+        assert metrics == {"simulate.wall_s": 1.0,
+                           "simulate.events_per_sec": 5000.0}
+
+    def test_sweep_manifest_counters(self):
+        manifest = {"schema": "mapg.sweep-manifest/1",
+                    "counters": {"cells_per_sec": 42.0, "hits": 3,
+                                 "per_worker": {"1": 3}}}
+        metrics = flatten_metrics(manifest)
+        assert metrics["sweep.cells_per_sec"] == 42.0
+        assert metrics["sweep.hits"] == 3.0
+        assert "sweep.per_worker" not in metrics
+
+
+class TestBands:
+    def test_parse_band_forms(self):
+        band = parse_band("single_core.ops_per_sec=0.25")
+        assert band == ToleranceBand("single_core.ops_per_sec", 0.25)
+        band = parse_band("sweep_serial.wall_s=0.5:lower")
+        assert band.direction == "lower"
+
+    def test_parse_band_rejects_malformed(self):
+        with pytest.raises(ConfigError):
+            parse_band("no-equals-sign")
+        with pytest.raises(ConfigError):
+            parse_band("metric=not-a-number")
+        with pytest.raises(ConfigError):
+            parse_band("metric=0.3:sideways")
+
+    def test_band_validation(self):
+        with pytest.raises(ConfigError):
+            ToleranceBand("", 0.3)
+        with pytest.raises(ConfigError):
+            ToleranceBand("m", 0.0)
+        with pytest.raises(ConfigError):
+            ToleranceBand("m", 0.3, direction="diagonal")
+
+
+class TestCompare:
+    def test_identical_documents_are_ok(self):
+        doc = scorecard()
+        report = compare_to_baseline(doc, doc)
+        assert report["ok"] is True
+        assert report["schema"] == ANOMALY_SCHEMA
+        assert report["anomalies"] == []
+        assert "single_core.ops_per_sec" in report["checked"]
+        # sweep.cells_per_sec is absent from a scorecard: skipped.
+        assert "sweep.cells_per_sec" in report["skipped"]
+
+    def test_regression_past_band_is_named(self):
+        baseline = scorecard(ops_per_sec=40_000.0)
+        observed = scorecard(ops_per_sec=16_000.0)  # ratio 0.4, band 0.3
+        report = compare_to_baseline(observed, baseline)
+        assert report["ok"] is False
+        metrics = [anomaly["metric"] for anomaly in report["anomalies"]]
+        assert "single_core.ops_per_sec" in metrics
+        anomaly = report["anomalies"][0]
+        assert anomaly["baseline"] == 40_000.0
+        assert anomaly["observed"] == 16_000.0
+        assert anomaly["ratio"] == pytest.approx(0.4)
+        assert anomaly["band"] == 0.30
+
+    def test_within_band_is_ok(self):
+        baseline = scorecard(ops_per_sec=40_000.0)
+        observed = scorecard(ops_per_sec=32_000.0)  # ratio 0.8 > 0.7
+        assert compare_to_baseline(observed, baseline)["ok"] is True
+
+    def test_lower_direction_flags_increases(self):
+        baseline = scorecard(wall_s=2.0)
+        observed = scorecard(wall_s=5.0)
+        bands = (ToleranceBand("sweep_serial.wall_s", 0.5,
+                               direction="lower"),)
+        report = compare_to_baseline(observed, baseline, bands=bands)
+        assert report["ok"] is False
+        assert report["anomalies"][0]["metric"] == "sweep_serial.wall_s"
+        # And a *decrease* of a lower-is-better metric is fine.
+        report = compare_to_baseline(baseline, observed, bands=bands)
+        assert report["ok"] is True
+
+    def test_default_bands_cover_the_scorecard_rows(self):
+        names = {band.metric for band in DEFAULT_BANDS}
+        assert "single_core.ops_per_sec" in names
+        assert "cache_warm.speedup_vs_cold" in names
+        assert "sweep.cells_per_sec" in names
+
+
+class TestStaleness:
+    def test_matching_environment_has_no_warnings(self):
+        assert environment_warnings(scorecard()) == []
+
+    def test_other_commit_warns_not_fails(self):
+        environment = environment_manifest()
+        if environment["git_sha"] is None:
+            pytest.skip("not in a git checkout")
+        stale_env = dict(environment, git_sha="f" * 40)
+        baseline = scorecard(environment=stale_env)
+        warnings = environment_warnings(baseline)
+        assert any("git_sha" in warning and "--update-baseline" in warning
+                   for warning in warnings)
+        report = compare_to_baseline(scorecard(), baseline)
+        assert report["ok"] is True  # stale baseline never fails the run
+        assert report["warnings"] == warnings
+
+    def test_other_cpu_count_warns(self):
+        baseline = scorecard(cpu_count=(os.cpu_count() or 1) + 7)
+        assert any("cpu_count" in warning
+                   for warning in environment_warnings(baseline))
+
+
+class TestReportArtifacts:
+    def test_write_is_atomic_and_roundtrips(self, tmp_path):
+        report = compare_to_baseline(scorecard(), scorecard())
+        target = tmp_path / "nested" / "anomaly_report.json"
+        written = write_anomaly_report(report, target)
+        assert written == target
+        assert json.loads(target.read_text()) == json.loads(
+            json.dumps(report))
+        # No tmp litter left behind (os.replace consumed it).
+        assert list(target.parent.iterdir()) == [target]
+
+    def test_load_perf_document_rejects_junk(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ManifestError):
+            load_perf_document(bad)
+        array = tmp_path / "array.json"
+        array.write_text("[1, 2]")
+        with pytest.raises(ManifestError):
+            load_perf_document(array)
+
+
+class TestQuickActions:
+    def test_archive_trace_copies_and_uniquifies(self, tmp_path):
+        trace = tmp_path / "run.json"
+        trace.write_text("{}")
+        first = archive_trace(trace, tmp_path / "archive")
+        second = archive_trace(trace, tmp_path / "archive")
+        assert first.name == "run.json"
+        assert second.name == "run-1.json"
+        assert archive_trace(tmp_path / "missing.json",
+                             tmp_path / "archive") is None
+
+    def test_append_anomaly_rows(self, tmp_path):
+        baseline = scorecard(ops_per_sec=40_000.0)
+        observed = scorecard(ops_per_sec=10_000.0)
+        report = compare_to_baseline(observed, baseline)
+        log = tmp_path / "ANOMALIES.jsonl"
+        appended = append_anomaly_rows(report, log)
+        assert appended == len(report["anomalies"]) >= 1
+        appended_again = append_anomaly_rows(report, log)
+        rows = [json.loads(line) for line in
+                log.read_text().splitlines()]
+        assert len(rows) == appended + appended_again
+        assert rows[0]["record"] == "anomaly"
+        assert rows[0]["metric"] == report["anomalies"][0]["metric"]
+
+    def test_append_nothing_when_ok(self, tmp_path):
+        report = compare_to_baseline(scorecard(), scorecard())
+        log = tmp_path / "ANOMALIES.jsonl"
+        assert append_anomaly_rows(report, log) == 0
+        assert not log.exists()
+
+
+class TestWatchPerfCli:
+    def _write(self, tmp_path, name, document):
+        path = tmp_path / name
+        path.write_text(json.dumps(document))
+        return path
+
+    def test_healthy_profile_exits_zero(self, tmp_path, capsys):
+        baseline = self._write(tmp_path, "baseline.json", scorecard())
+        observed = self._write(tmp_path, "observed.json", scorecard())
+        report_path = tmp_path / "anomaly_report.json"
+        exit_code = main(["watch-perf", str(observed),
+                          "--baseline", str(baseline),
+                          "--report", str(report_path)])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "perf ok" in captured.out
+        assert json.loads(report_path.read_text())["ok"] is True
+
+    def test_doctored_slow_profile_exits_nonzero_and_names_metric(
+            self, tmp_path, capsys):
+        baseline = self._write(tmp_path, "baseline.json",
+                               scorecard(ops_per_sec=40_000.0))
+        observed = self._write(tmp_path, "observed.json",
+                               scorecard(ops_per_sec=12_000.0))
+        report_path = tmp_path / "anomaly_report.json"
+        log_path = tmp_path / "ANOMALIES.jsonl"
+        exit_code = main(["watch-perf", str(observed),
+                          "--baseline", str(baseline),
+                          "--report", str(report_path),
+                          "--anomalies-log", str(log_path)])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "ANOMALY single_core.ops_per_sec" in captured.err
+        report = json.loads(report_path.read_text())
+        assert report["ok"] is False
+        assert any(anomaly["metric"] == "single_core.ops_per_sec"
+                   for anomaly in report["anomalies"])
+        assert log_path.exists()
+
+    def test_band_override(self, tmp_path, capsys):
+        baseline = self._write(tmp_path, "baseline.json",
+                               scorecard(ops_per_sec=40_000.0))
+        observed = self._write(tmp_path, "observed.json",
+                               scorecard(ops_per_sec=12_000.0))
+        exit_code = main(["watch-perf", str(observed),
+                          "--baseline", str(baseline),
+                          "--report", str(tmp_path / "report.json"),
+                          "--band", "single_core.ops_per_sec=0.9"])
+        capsys.readouterr()
+        assert exit_code == 0  # 0.3 ratio is inside a 0.9 band
+
+    def test_archive_trace_quick_action(self, tmp_path, capsys):
+        baseline = self._write(tmp_path, "baseline.json",
+                               scorecard(ops_per_sec=40_000.0))
+        observed = self._write(tmp_path, "observed.json",
+                               scorecard(ops_per_sec=5_000.0))
+        trace = tmp_path / "run.json"
+        trace.write_text("{}")
+        exit_code = main(["watch-perf", str(observed),
+                          "--baseline", str(baseline),
+                          "--report", str(tmp_path / "report.json"),
+                          "--archive-trace", str(trace),
+                          "--archive-dir", str(tmp_path / "archive")])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "archived trace" in captured.err
+        assert (tmp_path / "archive" / "run.json").exists()
+
+    def test_bad_observed_json_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        exit_code = main(["watch-perf", str(bad),
+                          "--report", str(tmp_path / "report.json")])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "error:" in captured.err
+
+    def test_json_flag_prints_report(self, tmp_path, capsys):
+        baseline = self._write(tmp_path, "baseline.json", scorecard())
+        observed = self._write(tmp_path, "observed.json", scorecard())
+        exit_code = main(["watch-perf", str(observed),
+                          "--baseline", str(baseline),
+                          "--report", str(tmp_path / "report.json"),
+                          "--json"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert json.loads(captured.out)["schema"] == ANOMALY_SCHEMA
