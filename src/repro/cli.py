@@ -60,6 +60,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--policy", choices=_POLICIES, default="mapg")
     run_cmd.add_argument("--ops", type=int, default=20_000)
     run_cmd.add_argument("--seed", type=int, default=1)
+    run_cmd.add_argument("--engine", default="oracle",
+                         help="execution kernel: 'oracle' (reference "
+                              "event-driven simulator) or 'fast' (columnar "
+                              "batched kernel, bit-identical results); "
+                              "unknown names are a configuration error")
     run_cmd.add_argument("--technology", default="45nm")
     run_cmd.add_argument("--temperature", type=float, default=85.0,
                          help="junction temperature in C")
@@ -91,6 +96,9 @@ def build_parser() -> argparse.ArgumentParser:
     compare_cmd.add_argument("--policies", nargs="+", default=list(_POLICIES))
     compare_cmd.add_argument("--ops", type=int, default=10_000)
     compare_cmd.add_argument("--seed", type=int, default=1)
+    compare_cmd.add_argument("--engine", default="oracle",
+                             help="execution kernel per cell "
+                                  "('oracle' or 'fast'; see `run --help`)")
 
     circuit_cmd = commands.add_parser(
         "circuit", help="sleep-transistor characterization (T2)")
@@ -107,6 +115,9 @@ def build_parser() -> argparse.ArgumentParser:
                            help="sweep points (scale factors, or C for temperature)")
     sweep_cmd.add_argument("--ops", type=int, default=10_000)
     sweep_cmd.add_argument("--seed", type=int, default=1)
+    sweep_cmd.add_argument("--engine", default="oracle",
+                           help="execution kernel per cell "
+                                "('oracle' or 'fast'; see `run --help`)")
     sweep_cmd.add_argument("--jobs", type=int, default=1,
                            help="worker processes for the sweep engine; "
                                 "results are byte-identical at any count")
@@ -220,16 +231,28 @@ def _result_rows(result: SimulationResult) -> List[List[str]]:
 def _run_one(config: SystemConfig, args: argparse.Namespace,
              recorder: object = None) -> SimulationResult:
     """One simulation of the run command's workload (profile or trace file)."""
+    from repro.fastsim import validate_engine
+
+    engine = getattr(args, "engine", "oracle")
+    validate_engine(engine)
     if args.workload.endswith((".jsonl", ".bin")):
         from repro.sim.simulator import Simulator
 
         trace = read_trace_file(args.workload)
+        if engine == "fast":
+            from repro.fastsim import ColumnarTrace, FastSimulator
+
+            fast = FastSimulator(config, workload=args.workload,
+                                 temperature_c=args.temperature,
+                                 seed=args.seed, recorder=recorder)
+            return fast.run(ColumnarTrace(trace))
         simulator = Simulator(config, workload=args.workload,
                               temperature_c=args.temperature, seed=args.seed,
                               recorder=recorder)
         return simulator.run(trace)
     return run_workload(config, args.workload, args.ops, seed=args.seed,
-                        temperature_c=args.temperature, recorder=recorder)
+                        temperature_c=args.temperature, recorder=recorder,
+                        engine=engine)
 
 
 def _export_observability(recorder: "object", manifest: dict,
@@ -343,7 +366,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     if "never" not in args.policies:
         args.policies.insert(0, "never")
     matrix = run_policy_comparison(SystemConfig(), workloads, args.policies,
-                                   args.ops, seed=args.seed)
+                                   args.ops, seed=args.seed,
+                                   engine=args.engine)
     rows = []
     for workload in workloads:
         baseline = matrix[workload]["never"]
@@ -397,7 +421,8 @@ _SWEEP_DEFAULTS = {
 
 
 def _sweep_specs(axis: str, values: Sequence[float], workload: str,
-                 num_ops: int, seed: int) -> List["object"]:
+                 num_ops: int, seed: int,
+                 engine: str = "oracle") -> List["object"]:
     """The sweep as JobSpecs: per value, a never-gate cell then a mapg
     cell, with the swept knob applied exactly as the table expects."""
     from repro.exec import JobSpec
@@ -418,10 +443,10 @@ def _sweep_specs(axis: str, values: Sequence[float], workload: str,
             temperature = value
         specs.append(JobSpec(config=with_policy(config, "never"),
                              profile=workload, num_ops=num_ops, seed=seed,
-                             temperature_c=temperature))
+                             temperature_c=temperature, engine=engine))
         specs.append(JobSpec(config=with_policy(config, "mapg", **overrides),
                              profile=workload, num_ops=num_ops, seed=seed,
-                             temperature_c=temperature))
+                             temperature_c=temperature, engine=engine))
     return specs
 
 
@@ -430,7 +455,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     values = tuple(args.values or _SWEEP_DEFAULTS[args.axis])
     specs = _sweep_specs(args.axis, values, args.workload, args.ops,
-                         args.seed)
+                         args.seed, engine=args.engine)
     recorder = None
     if args.telemetry_out:
         from repro.obs import SweepRecorder

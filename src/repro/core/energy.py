@@ -42,6 +42,33 @@ class EnergyLedger:
         self._event_energy_j += energy_j
         self._event_count += 1
 
+    # ---- batch integration (fast-path kernel) ----------------------------------
+
+    def add_batch(self, state: PowerState, cycles: int, energy_j: float) -> None:
+        """Charge a whole region's residency in ``state`` at once.
+
+        The batched kernel (:mod:`repro.fastsim`) integrates interval energy
+        in local accumulators using the exact per-interval formula
+        (``state_power_w * cycles_to_seconds(interval)``, summed in event
+        order) and deposits the region totals here in one call, so ledger
+        bookkeeping stays inside this module (LEDGER01).
+        """
+        if cycles < 0:
+            raise SimulationError(f"batch cycles must be >= 0, got {cycles}")
+        if energy_j < 0.0:
+            raise SimulationError(f"batch energy must be >= 0, got {energy_j}")
+        self._state_cycles[state] += cycles
+        self._state_energy_j[state] += energy_j
+
+    def add_events_batch(self, energy_j: float, count: int) -> None:
+        """Charge ``count`` gating events totalling ``energy_j`` at once."""
+        if count < 0:
+            raise SimulationError(f"batch event count must be >= 0, got {count}")
+        if energy_j < 0.0:
+            raise SimulationError(f"event energy must be >= 0, got {energy_j}")
+        self._event_energy_j += energy_j
+        self._event_count += count
+
     # ---- queries ---------------------------------------------------------------
 
     @property

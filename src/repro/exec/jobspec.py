@@ -33,8 +33,11 @@ class JobSpec:
     seed: int = 1
     warmup_ops: int = 0
     temperature_c: Optional[float] = None
+    engine: str = "oracle"
 
     def __post_init__(self) -> None:
+        from repro.fastsim import validate_engine
+
         if not self.profile:
             raise ConfigError("JobSpec needs a workload profile name")
         if self.num_ops < 0:
@@ -42,6 +45,7 @@ class JobSpec:
         if self.warmup_ops < 0:
             raise ConfigError(
                 f"warmup_ops must be >= 0, got {self.warmup_ops}")
+        validate_engine(self.engine)
 
     def canonical(self) -> Dict[str, Any]:
         """The key-relevant content, JSON-ready and stably ordered.
@@ -49,6 +53,11 @@ class JobSpec:
         The configuration enters through its sha256 digest: any field
         change anywhere in the config tree changes the digest and
         therefore the job key.
+
+        ``engine`` is deliberately **not** part of the key: the fast
+        kernel's contract is bit-identical results (enforced by the
+        crosscheck parity suite), so oracle- and fast-engine runs of the
+        same cell are the same result and may share cache entries.
         """
         return {
             "schema": JOB_SCHEMA,
@@ -77,6 +86,7 @@ class JobSpec:
             "seed": self.seed,
             "warmup_ops": self.warmup_ops,
             "temperature_c": self.temperature_c,
+            "engine": self.engine,
         }
 
     @classmethod
@@ -89,6 +99,7 @@ class JobSpec:
             seed=payload["seed"],
             warmup_ops=payload["warmup_ops"],
             temperature_c=payload["temperature_c"],
+            engine=payload.get("engine", "oracle"),
         )
 
     def execute(self, trace_store: Optional[Any] = None) -> Any:
@@ -98,7 +109,9 @@ class JobSpec:
         :class:`~repro.exec.tracestore.TraceStore` the (warmup, measured)
         traces come memoized from the store; without one the generator is
         streamed straight into the simulator, never materializing the op
-        list.
+        list.  ``engine="fast"`` routes through the columnar batched
+        kernel (bit-identical by contract; memoized per-process in
+        :func:`~repro.fastsim.columnar.shared_columnar_store`).
         """
         from repro.sim.simulator import Simulator
         from repro.workloads.profiles import get_profile
@@ -106,6 +119,17 @@ class JobSpec:
 
         kwargs = ({} if self.temperature_c is None
                   else {"temperature_c": self.temperature_c})
+        if self.engine == "fast":
+            from repro.fastsim import FastSimulator, shared_columnar_store
+
+            fast = FastSimulator(self.config, workload=self.profile,
+                                 seed=self.seed, **kwargs)
+            warm_trace, measured_trace = shared_columnar_store().traces(
+                self.profile, self.num_ops, seed=self.seed,
+                warmup_ops=self.warmup_ops)
+            if self.warmup_ops:
+                fast.warm_up(warm_trace)
+            return fast.run(measured_trace)
         simulator = Simulator(self.config, workload=self.profile,
                               seed=self.seed, **kwargs)
         if trace_store is not None:

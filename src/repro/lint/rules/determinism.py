@@ -11,9 +11,12 @@ sources of hidden nondeterminism are flagged:
 
 2. **Wall-clock reads** (simulation code) — ``time.time()``,
    ``datetime.now()`` etc. inside ``repro/sim``, ``repro/core``,
-   ``repro/cpu``, ``repro/memory``, ``repro/obs``, or ``repro/exec`` leak
+   ``repro/cpu``, ``repro/memory``, ``repro/obs``, ``repro/exec``, or
+   ``repro/fastsim`` leak
    host time into simulated time (for ``repro/exec`` it could leak into
-   scheduling, which must stay content-addressed).  Three modules are
+   scheduling, which must stay content-addressed; the batched kernel in
+   ``repro/fastsim`` claims bit-identity with the oracle, so host time
+   anywhere inside it voids that contract).  Three modules are
    allowlisted: ``repro/obs/profile.py`` *is* the self-profiling harness,
    whose whole job is measuring the simulator's own wall time and memory;
    ``repro/obs/sweep.py`` timestamps sweep lifecycle events (cells/sec,
@@ -22,7 +25,8 @@ sources of hidden nondeterminism are flagged:
    the host, never into the simulation (see docs/OBSERVABILITY.md) —
    OBS01 separately proves their values cannot reach results.
 
-3. **Set iteration** (``repro/sim``, ``repro/core``, and ``repro/exec``)
+3. **Set iteration** (``repro/sim``, ``repro/core``, ``repro/exec``, and
+   ``repro/fastsim``)
    — iterating a set
    literal or ``set()``/``frozenset()`` call orders elements by hash;
    string hashes are randomized per process, so iteration order — and any
@@ -65,13 +69,13 @@ _WALL_CLOCK = {
 }
 
 _SIM_PACKAGES = ("repro/sim", "repro/core", "repro/cpu", "repro/memory",
-                 "repro/obs", "repro/exec")
+                 "repro/obs", "repro/exec", "repro/fastsim")
 # Modules exempt from the wall-clock check: the self-profiler and the
 # sweep/anomaly telemetry measure the host on purpose — the blessed homes
 # for perf_counter et al.  Everything else in obs/exec stays clock-free.
 _WALL_CLOCK_ALLOWLIST = ("repro/obs/profile.py", "repro/obs/sweep.py",
                          "repro/obs/anomaly.py")
-_SET_SCOPE = ("repro/sim", "repro/core", "repro/exec")
+_SET_SCOPE = ("repro/sim", "repro/core", "repro/exec", "repro/fastsim")
 
 
 def _attribute_base_name(node: ast.Attribute) -> Optional[str]:
@@ -96,9 +100,10 @@ def _is_numpy_random_chain(node: ast.Attribute) -> bool:
 @register_rule
 class DeterminismRule(LintRule):
     rule_id = "DET01"
-    summary = ("no global-RNG calls, no wall-clock reads in sim/obs/exec "
-               "code (obs profile/sweep/anomaly modules allowlisted), no "
-               "set iteration in repro/sim, repro/core, and repro/exec")
+    summary = ("no global-RNG calls, no wall-clock reads in "
+               "sim/obs/exec/fastsim code (obs profile/sweep/anomaly "
+               "modules allowlisted), no set iteration in repro/sim, "
+               "repro/core, repro/exec, and repro/fastsim")
     default_severity = Severity.ERROR
 
     def visit_Call(self, node: ast.Call) -> None:

@@ -80,6 +80,8 @@ class ToleranceBand:
 DEFAULT_BANDS: Tuple[ToleranceBand, ...] = (
     ToleranceBand("single_core.ops_per_sec", 0.30),
     ToleranceBand("single_core.events_per_sec", 0.30),
+    ToleranceBand("single_core_fast.ops_per_sec", 0.30),
+    ToleranceBand("single_core_fast.speedup_vs_oracle", 0.50),
     ToleranceBand("cache_warm.speedup_vs_cold", 0.50),
     ToleranceBand("sweep_parallel.speedup_vs_serial", 0.50),
     ToleranceBand("sweep.cells_per_sec", 0.50),

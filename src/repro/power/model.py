@@ -94,6 +94,15 @@ class CorePowerModel:
             raise ConfigError(f"cycles must be >= 0, got {cycles}")
         return self.state_power_w(state) * self.circuit.cycles_to_seconds(cycles)
 
+    def state_power_table(self) -> Dict[PowerState, float]:
+        """Per-state power draw for every state, for batch integrators.
+
+        The fast-path kernel (:mod:`repro.fastsim`) hoists these draws out
+        of its inner loop and reproduces :meth:`interval_energy_j` term by
+        term; handing it a copy keeps the table itself private.
+        """
+        return dict(self._state_power)
+
     def gating_event_energy_j(self, sleep_cycles: float,
                               mode: str = "full") -> float:
         """One-off cost of a gating event whose sleep lasted ``sleep_cycles``.

@@ -44,7 +44,8 @@ def with_policy(config: SystemConfig, policy: str, **gating_overrides: object) -
 def run_workload(config: SystemConfig, profile_name: str, num_ops: int,
                  seed: int = 1, temperature_c: Optional[float] = None,
                  warmup_ops: int = 0,
-                 recorder: Optional[NullRecorder] = None) -> SimulationResult:
+                 recorder: Optional[NullRecorder] = None,
+                 engine: str = "oracle") -> SimulationResult:
     """Generate a trace for ``profile_name`` and run it through ``config``.
 
     ``warmup_ops`` extra ops are replayed first and excluded from every
@@ -53,13 +54,34 @@ def run_workload(config: SystemConfig, profile_name: str, num_ops: int,
     captures the cycle-timestamped timeline for Perfetto export; the
     default records nothing and costs nothing.
 
-    The generator **streams** into the simulator — the op trace is never
-    materialized as a list, so memory stays flat however long the run is.
+    ``engine`` selects the execution kernel: ``"oracle"`` is the
+    reference event-driven simulator, ``"fast"`` the columnar batched
+    kernel of :mod:`repro.fastsim` — bit-identical results by contract,
+    roughly an order of magnitude faster on gating-eligible configs
+    (unsupported ones transparently fall back to the oracle).  Unknown
+    names raise :class:`~repro.errors.ConfigError`.
+
+    On the oracle path the generator **streams** into the simulator —
+    the op trace is never materialized as a list, so memory stays flat
+    however long the run is.  The fast path ingests the trace into
+    memoized columnar arrays (a few bytes per op) instead.
     """
     from repro.workloads.synthetic import SyntheticTraceGenerator
     from repro.workloads.profiles import get_profile
+    from repro.fastsim import validate_engine
 
+    validate_engine(engine)
     kwargs = {} if temperature_c is None else {"temperature_c": temperature_c}
+    if engine == "fast":
+        from repro.fastsim import FastSimulator, shared_columnar_store
+
+        fast = FastSimulator(config, workload=profile_name, seed=seed,
+                             recorder=recorder, **kwargs)
+        warm_trace, measured_trace = shared_columnar_store().traces(
+            profile_name, num_ops, seed=seed, warmup_ops=warmup_ops)
+        if warmup_ops:
+            fast.warm_up(warm_trace)
+        return fast.run(measured_trace)
     simulator = Simulator(config, workload=profile_name, seed=seed,
                           recorder=recorder, **kwargs)
     generator = SyntheticTraceGenerator(get_profile(profile_name), seed=seed)
@@ -71,7 +93,8 @@ def run_workload(config: SystemConfig, profile_name: str, num_ops: int,
 def run_policy_comparison(config: SystemConfig, profile_names: Sequence[str],
                           policies: Sequence[str], num_ops: int,
                           seed: int = 1, jobs: int = 1,
-                          cache: "Optional[ResultCache]" = None
+                          cache: "Optional[ResultCache]" = None,
+                          engine: str = "oracle"
                           ) -> Dict[str, Dict[str, SimulationResult]]:
     """The F2/T3 matrix: results[workload][policy].
 
@@ -82,13 +105,15 @@ def run_policy_comparison(config: SystemConfig, profile_names: Sequence[str],
     Routed through :class:`repro.exec.SweepRunner`: ``jobs > 1`` fans the
     matrix over a process pool and ``cache`` (a
     :class:`repro.exec.ResultCache`) skips cells simulated before; the
-    returned matrix is bit-identical at any ``jobs``/cache setting.
+    returned matrix is bit-identical at any ``jobs``/cache setting, and
+    — by the fast kernel's parity contract — at any ``engine`` setting.
     """
     from repro.exec import SweepRunner
     from repro.exec.jobspec import JobSpec
 
     specs = [JobSpec(config=with_policy(config, policy),
-                     profile=profile_name, num_ops=num_ops, seed=seed)
+                     profile=profile_name, num_ops=num_ops, seed=seed,
+                     engine=engine)
              for profile_name in profile_names for policy in policies]
     flat = iter(_sweep_runner(jobs, cache).run(specs))
     results: Dict[str, Dict[str, SimulationResult]] = {}
@@ -100,7 +125,8 @@ def run_policy_comparison(config: SystemConfig, profile_names: Sequence[str],
 def run_seed_study(config: SystemConfig, profile_name: str, num_ops: int,
                    seeds: Sequence[int],
                    baseline_policy: str = "never", jobs: int = 1,
-                   cache: "Optional[ResultCache]" = None) -> "SeedStudy":
+                   cache: "Optional[ResultCache]" = None,
+                   engine: str = "oracle") -> "SeedStudy":
     """Replicate one (workload, policy) comparison across trace seeds.
 
     Every seed generates an independent trace instance of the same
@@ -118,9 +144,10 @@ def run_seed_study(config: SystemConfig, profile_name: str, num_ops: int,
     specs: List[JobSpec] = []
     for seed in seeds:
         specs.append(JobSpec(config=with_policy(config, baseline_policy),
-                             profile=profile_name, num_ops=num_ops, seed=seed))
+                             profile=profile_name, num_ops=num_ops, seed=seed,
+                             engine=engine))
         specs.append(JobSpec(config=config, profile=profile_name,
-                             num_ops=num_ops, seed=seed))
+                             num_ops=num_ops, seed=seed, engine=engine))
     flat = _sweep_runner(jobs, cache).run(specs)
     savings: List[float] = []
     penalties: List[float] = []

@@ -1,0 +1,178 @@
+"""Kernel-vs-oracle parity: the fast engine's bit-identity contract.
+
+``repro.fastsim`` promises results **byte-identical** to the event-driven
+oracle — same energy ledger floats, same histogram moments, same
+controller counters — not "close".  These tests sweep the whole workload
+profile x policy matrix (cold and warmed up), push fast-engine cells
+through the SweepRunner at ``jobs`` 1 and 4, and fuzz randomized segment
+traces, comparing the canonical JSON of every ``SimulationResult`` field.
+Any diff is a kernel bug by definition.
+"""
+
+import dataclasses
+import json
+import random
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.crosscheck import crosscheck_engines, verify_engines
+from repro.errors import ConfigError
+from repro.exec import JobSpec, SweepRunner
+from repro.fastsim import ColumnarTrace, FastSimulator, validate_engine
+from repro.sim.runner import run_workload, with_policy
+from repro.sim.simulator import Simulator
+from repro.trace.format import ComputeBlock, MemoryAccess
+from repro.workloads import profile_names
+
+POLICIES = ("never", "naive", "bet_guard", "mapg", "mapg_adaptive", "oracle")
+
+
+def canonical(result):
+    return json.dumps(dataclasses.asdict(result), sort_keys=True)
+
+
+def assert_identical(config, profile, num_ops, seed=1, warmup_ops=0):
+    oracle = run_workload(config, profile, num_ops, seed=seed,
+                          warmup_ops=warmup_ops, engine="oracle")
+    fast = run_workload(config, profile, num_ops, seed=seed,
+                        warmup_ops=warmup_ops, engine="fast")
+    assert canonical(fast) == canonical(oracle), \
+        f"fast kernel diverged on {profile}/{config.gating.policy}"
+
+
+class TestColdMatrix:
+    @pytest.mark.parametrize("profile", profile_names())
+    def test_every_profile_every_policy(self, profile):
+        for policy in POLICIES:
+            assert_identical(with_policy(SystemConfig(), policy),
+                             profile, 1500, seed=11)
+
+
+class TestWarmedUp:
+    @pytest.mark.parametrize("profile", profile_names())
+    def test_every_profile_with_warmup(self, profile):
+        assert_identical(with_policy(SystemConfig(), "mapg"),
+                         profile, 1200, seed=5, warmup_ops=400)
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_every_policy_with_warmup(self, policy):
+        assert_identical(with_policy(SystemConfig(), policy),
+                         "mcf_like", 1200, seed=3, warmup_ops=400)
+
+    @pytest.mark.parametrize("seed", (1, 2, 5, 11))
+    def test_seeds(self, seed):
+        assert_identical(with_policy(SystemConfig(), "mapg_adaptive"),
+                         "gems_like", 1500, seed=seed, warmup_ops=200)
+
+    def test_temperature_override(self):
+        oracle = run_workload(with_policy(SystemConfig(), "mapg"),
+                              "lbm_like", 1500, seed=9,
+                              temperature_c=110.0, engine="oracle")
+        fast = run_workload(with_policy(SystemConfig(), "mapg"),
+                            "lbm_like", 1500, seed=9,
+                            temperature_c=110.0, engine="fast")
+        assert canonical(fast) == canonical(oracle)
+
+
+class TestThroughSweepRunner:
+    def _specs(self, engine):
+        config = SystemConfig()
+        return [JobSpec(config=with_policy(config, policy),
+                        profile=profile, num_ops=1200, seed=7,
+                        warmup_ops=warmup, engine=engine)
+                for profile in ("mcf_like", "povray_like")
+                for policy in ("never", "mapg")
+                for warmup in (0, 300)]
+
+    def test_serial_fast_equals_serial_oracle(self):
+        oracle = SweepRunner(jobs=1).run(self._specs("oracle"))
+        fast = SweepRunner(jobs=1).run(self._specs("fast"))
+        assert [canonical(r) for r in fast] == \
+            [canonical(r) for r in oracle]
+
+    def test_parallel_fast_equals_serial_oracle(self):
+        oracle = SweepRunner(jobs=1).run(self._specs("oracle"))
+        fast = SweepRunner(jobs=4).run(self._specs("fast"))
+        assert [canonical(r) for r in fast] == \
+            [canonical(r) for r in oracle]
+
+
+class TestRandomizedSegments:
+    """Property-style: arbitrary compute/memory segment interleavings."""
+
+    @staticmethod
+    def _random_ops(rng, num_ops):
+        ops = []
+        pc = 0x1000
+        for _ in range(num_ops):
+            if rng.random() < 0.35:
+                ops.append(ComputeBlock(instructions=rng.randint(1, 400)))
+            else:
+                pc += rng.choice((4, 4, 8, 64))
+                ops.append(MemoryAccess(
+                    address=rng.randrange(0, 1 << rng.randint(12, 27), 8),
+                    pc=pc,
+                    is_write=rng.random() < 0.3,
+                    dependent=rng.random() < 0.6))
+        return ops
+
+    @pytest.mark.parametrize("case_seed", (101, 202, 303, 404, 505))
+    def test_random_trace_parity(self, case_seed):
+        rng = random.Random(case_seed)
+        ops = self._random_ops(rng, 1500)
+        policy = rng.choice(POLICIES)
+        config = with_policy(SystemConfig(), policy)
+        oracle = Simulator(config, workload="fuzz", seed=1).run(iter(ops))
+        fast = FastSimulator(config, workload="fuzz", seed=1).run(
+            ColumnarTrace(ops))
+        assert canonical(fast) == canonical(oracle), \
+            f"diverged on fuzz case {case_seed} ({policy})"
+
+
+class TestEngineContract:
+    def test_validate_engine_rejects_unknown(self):
+        with pytest.raises(ConfigError):
+            validate_engine("warp")
+        validate_engine("oracle")
+        validate_engine("fast")
+
+    def test_run_workload_rejects_unknown_engine(self):
+        with pytest.raises(ConfigError):
+            run_workload(SystemConfig(), "mcf_like", 100, engine="warp")
+
+    def test_jobspec_rejects_unknown_engine(self):
+        with pytest.raises(ConfigError):
+            JobSpec(config=SystemConfig(), profile="mcf_like",
+                    num_ops=100, engine="warp")
+
+    def test_engine_excluded_from_job_key(self):
+        # Bit-identity means the two engines' results are interchangeable,
+        # so they deliberately share cache addresses.
+        base = dict(config=SystemConfig(), profile="mcf_like", num_ops=100)
+        assert JobSpec(engine="oracle", **base).key == \
+            JobSpec(engine="fast", **base).key
+
+    def test_engine_survives_payload_roundtrip(self):
+        spec = JobSpec(config=SystemConfig(), profile="mcf_like",
+                       num_ops=100, engine="fast")
+        assert JobSpec.from_payload(spec.to_payload()).engine == "fast"
+
+    def test_crosscheck_reports_fast_path(self):
+        check = verify_engines(with_policy(SystemConfig(), "mapg"),
+                               "mcf_like", 1200, seed=2, warmup_ops=200)
+        assert check.identical
+        assert check.used_fast_path
+        assert check.oracle_digest == check.fast_digest
+
+    def test_crosscheck_flags_fallback(self):
+        # An MLP core (miss_window > 1) is outside the kernel's
+        # eligibility envelope, so the comparison degrades to
+        # oracle-vs-oracle and says so.
+        base = with_policy(SystemConfig(), "mapg")
+        config = base.replace(
+            core=dataclasses.replace(base.core, miss_window=2))
+        check = crosscheck_engines(config, "mcf_like", 600, seed=2)
+        assert check.identical
+        assert not check.used_fast_path
+        assert check.fallback_reasons
