@@ -22,6 +22,9 @@ register, an adder, and a shift.
 
 from __future__ import annotations
 
+from repro.core.gating_constants import (
+    AIMD_BIAS_CAP_CYCLES, AIMD_DECAY, AIMD_IDLE_TOLERANCE_CYCLES,
+    AIMD_INCREASE_CYCLES)
 from repro.core.policies import MapgPolicy
 from repro.core.wakeup import WakeupPlan
 from repro.errors import ConfigError
@@ -31,11 +34,12 @@ class AdaptiveMapgPolicy(MapgPolicy):
     """MAPG with a run-time-adapted early-wake bias (policy ``mapg_adaptive``)."""
 
     # AIMD constants: additive increase per late wake, multiplicative decay
-    # when wakes keep landing comfortably early.
-    _INCREASE_CYCLES = 4
-    _DECAY = 0.85
-    _IDLE_TOLERANCE_CYCLES = 24
-    _BIAS_CAP_CYCLES = 96
+    # when wakes keep landing comfortably early (class-attribute aliases of
+    # the shared definitions both engines import).
+    _INCREASE_CYCLES = AIMD_INCREASE_CYCLES
+    _DECAY = AIMD_DECAY
+    _IDLE_TOLERANCE_CYCLES = AIMD_IDLE_TOLERANCE_CYCLES
+    _BIAS_CAP_CYCLES = AIMD_BIAS_CAP_CYCLES
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)

@@ -35,6 +35,8 @@ from typing import Optional
 
 from repro.config import GatingConfig
 from repro.core.breakeven import BreakEvenAnalyzer
+from repro.core.gating_constants import (
+    FALLBACK_DEV_BIAS, FALLBACK_DEV_FRACTION, GLOBAL_ALPHA)
 from repro.core.wakeup import plan_wakeup
 from repro.errors import ConfigError
 from repro.predict.base import LatencyPredictor
@@ -161,9 +163,10 @@ class MapgPolicy(GatingPolicy):
         # "" key covers accesses whose outcome the controller didn't report.
         self._fallback: dict = {}
 
-    # EWMA weights of the global fallback registers.
-    _GLOBAL_ALPHA = 0.1
-    _DEV_BIAS = 1.5  # wake this many deviations early on fallback gates
+    # EWMA weights of the global fallback registers (class-attribute
+    # aliases of the shared definitions both engines import).
+    _GLOBAL_ALPHA = GLOBAL_ALPHA
+    _DEV_BIAS = FALLBACK_DEV_BIAS  # wake this many deviations early on fallback gates
 
     def _early_margin_cycles(self) -> int:
         """Early-wake bias for confident gates; adaptive subclasses override."""
@@ -173,7 +176,8 @@ class MapgPolicy(GatingPolicy):
         registers = self._fallback.get(kind)
         if registers is None:
             registers = [float(self.static_estimate_cycles),
-                         float(self.static_estimate_cycles) * 0.25]
+                         float(self.static_estimate_cycles)
+                         * FALLBACK_DEV_FRACTION]
             self._fallback[kind] = registers
         return registers
 

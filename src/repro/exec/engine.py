@@ -72,18 +72,33 @@ def _execute_payload(item: "Tuple[str, Dict[str, Any]]"  # mapglint: error-bound
     return key, result_to_dict(result)
 
 
-def _execute_payload_observed(item: "Tuple[str, Dict[str, Any]]"
+def _execute_payload_observed(item: "Tuple[str, Dict[str, Any]]"  # mapglint: error-boundary
                               ) -> "Tuple[str, Dict[str, Any]]":
     """Telemetry variant of :func:`_execute_payload`: same execution, plus
-    the worker's identity riding back under ``__mapg_obs__`` — a plain
-    dict, so the payload stays PAR01-picklable.  The parent pops the key
-    before rebuilding the result, so telemetry can never reach a
+    the worker's identity and engine telemetry riding back under
+    ``__mapg_obs__`` — a plain dict, so the payload stays
+    PAR01-picklable.  The parent pops the key before rebuilding the
+    result, so telemetry can never reach a
     :class:`~repro.sim.results.SimulationResult`; it exists only so the
-    sweep manifest can attribute cells to workers (utilization).
+    sweep manifest can attribute cells to workers (utilization) and to
+    engines (fast-path coverage with fallback reasons).
     """
-    key, result = _execute_payload(item)
-    result["__mapg_obs__"] = {"worker": os.getpid()}
-    return key, result
+    global _WORKER_STORE
+    if _WORKER_STORE is None:
+        _WORKER_STORE = TraceStore()
+    key, payload = item
+    obs: Dict[str, Any] = {"worker": os.getpid()}
+    try:
+        result, telemetry = JobSpec.from_payload(payload) \
+            .execute_with_telemetry(trace_store=_WORKER_STORE)
+    except Exception as exc:
+        return key, {"__mapg_error__": f"{type(exc).__name__}: {exc}",
+                     "__mapg_obs__": obs}
+    obs["engine"] = telemetry["engine"]
+    obs["fallback_reasons"] = list(telemetry["fallback_reasons"])
+    out = result_to_dict(result)
+    out["__mapg_obs__"] = obs
+    return key, out
 
 
 class SweepRunner:
@@ -129,7 +144,8 @@ class SweepRunner:
             for key, spec in unique.items():
                 self._obs.cell_queued(key, profile=spec.profile,
                                       policy=spec.config.gating.policy,
-                                      seed=spec.seed, num_ops=spec.num_ops)
+                                      seed=spec.seed, num_ops=spec.num_ops,
+                                      engine=spec.engine)
 
         results: Dict[str, SimulationResult] = {}
         if self.cache is not None:
@@ -171,8 +187,8 @@ class SweepRunner:
                     result_iter = pool.imap_unordered(
                         _execute_payload, payloads, chunksize=1)
                 for key, result_dict in result_iter:
-                    obs_info = result_dict.pop("__mapg_obs__", None)
-                    worker_id = int(obs_info["worker"]) if obs_info else 0
+                    obs_info = result_dict.pop("__mapg_obs__", None) or {}
+                    worker_id = int(obs_info.get("worker", 0))
                     error = result_dict.get("__mapg_error__")
                     if error is not None:
                         failures[key] = str(error)
@@ -182,7 +198,11 @@ class SweepRunner:
                     else:
                         results[key] = result_from_dict(result_dict)
                         if self._obs.enabled:
-                            self._obs.cell_done(key, worker=worker_id)
+                            self._obs.cell_done(
+                                key, worker=worker_id,
+                                engine=obs_info.get("engine"),
+                                fallback_reasons=obs_info.get(
+                                    "fallback_reasons", ()))
         else:
             if missing and self._obs.enabled:
                 self._obs.dispatch(cells=len(missing), workers=1,
@@ -191,14 +211,25 @@ class SweepRunner:
                 if self._obs.enabled:
                     self._obs.cell_start(key)
                 try:
-                    results[key] = spec.execute(trace_store=self.trace_store)
+                    # The telemetry variant runs the identical simulation;
+                    # the extra tuple element is observation only, so the
+                    # unobserved path keeps the plain call.
+                    if self._obs.enabled:
+                        results[key], telemetry = spec.execute_with_telemetry(
+                            trace_store=self.trace_store)
+                    else:
+                        results[key] = spec.execute(
+                            trace_store=self.trace_store)
+                        telemetry = None
                 except Exception as exc:
                     failures[key] = f"{type(exc).__name__}: {exc}"
                     if self._obs.enabled:
                         self._obs.cell_failed(key, failures[key])
                 else:
-                    if self._obs.enabled:
-                        self._obs.cell_done(key)
+                    if self._obs.enabled and telemetry is not None:
+                        self._obs.cell_done(
+                            key, engine=telemetry["engine"],
+                            fallback_reasons=telemetry["fallback_reasons"])
         self.executed += len(missing)
 
         if self.cache is not None:

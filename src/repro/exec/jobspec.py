@@ -14,7 +14,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from repro.config import SystemConfig
 from repro.errors import ConfigError
@@ -113,6 +113,28 @@ class JobSpec:
         kernel (bit-identical by contract; memoized per-process in
         :func:`~repro.fastsim.columnar.shared_columnar_store`).
         """
+        return self.execute_with_telemetry(trace_store=trace_store)[0]
+
+    def execute_with_telemetry(
+            self, trace_store: Optional[Any] = None
+    ) -> Tuple[Any, Dict[str, Any]]:
+        """:meth:`execute`, plus how the cell actually ran.
+
+        Returns ``(result, telemetry)`` where telemetry is::
+
+            {"engine": "oracle" | "fast",
+             "used_fast_path": bool,
+             "fallback_reasons": [str, ...]}
+
+        ``engine`` is the *requested* engine.  A fast-engine cell that the
+        kernel refused (see ``FastSimulator.fallback_reasons``) still runs
+        bit-identically through oracle delegation, but reports
+        ``used_fast_path=False`` and the eligibility reasons — this is the
+        ground truth the sweep recorder aggregates so a sweep manifest can
+        show how much of the grid actually took the fast path.  The result
+        object is byte-for-byte the one :meth:`execute` returns; telemetry
+        is read-only observation, never an input to the simulation.
+        """
         from repro.sim.simulator import Simulator
         from repro.workloads.profiles import get_profile
         from repro.workloads.synthetic import SyntheticTraceGenerator
@@ -129,7 +151,14 @@ class JobSpec:
                 warmup_ops=self.warmup_ops)
             if self.warmup_ops:
                 fast.warm_up(warm_trace)
-            return fast.run(measured_trace)
+            result = fast.run(measured_trace)
+            return result, {
+                "engine": "fast",
+                "used_fast_path": fast.used_fast_path,
+                "fallback_reasons": list(fast.fallback_reasons),
+            }
+        telemetry = {"engine": "oracle", "used_fast_path": False,
+                     "fallback_reasons": []}
         simulator = Simulator(self.config, workload=self.profile,
                               seed=self.seed, **kwargs)
         if trace_store is not None:
@@ -138,9 +167,9 @@ class JobSpec:
                 warmup_ops=self.warmup_ops)
             if self.warmup_ops:
                 simulator.warm_up(warm_trace)
-            return simulator.run(measured_trace)
+            return simulator.run(measured_trace), telemetry
         generator = SyntheticTraceGenerator(get_profile(self.profile),
                                             seed=self.seed)
         if self.warmup_ops:
             simulator.warm_up(generator.operations(self.warmup_ops))
-        return simulator.run(generator.operations(self.num_ops))
+        return simulator.run(generator.operations(self.num_ops)), telemetry

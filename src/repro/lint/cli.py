@@ -15,7 +15,7 @@ from repro.lint.base import all_project_rules, all_rule_ids, all_rules
 from repro.lint.baseline import Baseline
 from repro.lint.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.lint.findings import format_json, format_text
-from repro.lint.fixes import fix_files
+from repro.lint.fixes import fix_files, fix_twin_constants
 from repro.lint.runner import collect_files, lint_files
 from repro.lint.sarif import format_sarif
 
@@ -49,7 +49,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--fix", action="store_true",
                         help="apply mechanical fixes (float equality -> "
                              "math.isclose, raw scale literals -> "
-                             "repro.units constants) before linting")
+                             "repro.units constants, duplicated engine "
+                             "constants -> their shared definition) "
+                             "before linting")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the per-file result cache")
     parser.add_argument("--cache-dir", metavar="DIR",
@@ -113,6 +115,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.fix:
         changed = fix_files(files)
+        for path, count in fix_twin_constants(files).items():
+            changed[path] = changed.get(path, 0) + count
         total = sum(changed.values())
         for path in sorted(changed):
             print(f"fixed: {path} ({changed[path]} edit(s))")

@@ -24,6 +24,7 @@ from repro.lint.project.effects import EffectPropagator
 from repro.lint.project.errflow import ErrorFlow
 from repro.lint.project.summary import (
     CallSite, DataclassInfo, FunctionInfo, ModuleSummary)
+from repro.lint.project.twin import TwinAnalysis
 
 
 def is_test_path(path: str) -> bool:
@@ -44,11 +45,11 @@ class ProjectModel:
     """Symbol table + call graph over every linted module."""
 
     # Bare names too generic to resolve by name alone, whatever agreement
-    # the candidates show (dunders and ubiquitous verbs).
+    # the candidates show (dunders, ubiquitous verbs, str methods).
     _UNRESOLVABLE = frozenset({
         "<module>", "__init__", "__post_init__", "__repr__", "__str__",
         "get", "set", "add", "update", "append", "extend", "pop", "items",
-        "keys", "values", "copy", "run", "main",
+        "keys", "values", "copy", "run", "main", "join",
     })
 
     def __init__(self, summaries: Iterable[ModuleSummary]) -> None:
@@ -68,6 +69,7 @@ class ProjectModel:
         self.functions_by_qualname: Dict[str, FunctionInfo] = {}
         self._effects: Optional[EffectPropagator] = None
         self._errflow: Optional[ErrorFlow] = None
+        self._twin: Optional[TwinAnalysis] = None
         for summary in self.summaries:
             test = is_test_path(summary.path)
             for info in summary.functions:
@@ -105,6 +107,12 @@ class ProjectModel:
         if self._errflow is None:
             self._errflow = ErrorFlow(self)
         return self._errflow
+
+    def twin(self) -> TwinAnalysis:
+        """Both engines' closures, built once per model on demand."""
+        if self._twin is None:
+            self._twin = TwinAnalysis(self)
+        return self._twin
 
     # ---- agreed facts across ambiguous candidates ------------------------
 

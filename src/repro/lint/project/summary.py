@@ -21,6 +21,7 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 from repro.lint.project.dimensions import (
     UNKNOWN, CallObservation, FunctionAnalyzer, dim_of_name, dotted_name)
 from repro.lint.project.effects import ModuleEffects, extract_module_effects
+from repro.lint.project.twin import ModuleTwinFacts, extract_module_twin
 
 #: Bump when the summary layout changes so cached pickles are invalidated
 #: even if the source of the lint package somehow hashes equal.
@@ -28,7 +29,9 @@ from repro.lint.project.effects import ModuleEffects, extract_module_effects
 #: guarded bindings, persistence writes) for CONC01–CONC04.
 #: 5: ModuleEffects grew the error-flow model (raise sites, handler
 #: spans, resource sites, exception classes) for ERR01–ERR04/RES01.
-SUMMARY_SCHEMA = 5
+#: 6: ModuleTwinFacts joined the summary (per-function engine footprints,
+#: twin-exempt pragmas) for the twin-drift rules TWIN01–TWIN04.
+SUMMARY_SCHEMA = 6
 
 
 @dataclass(frozen=True)
@@ -107,6 +110,7 @@ class ModuleSummary:
     attr_writes: List[AttrWrite] = field(default_factory=list)
     suppressions: Dict[int, FrozenSet[str]] = field(default_factory=dict)
     module_effects: Optional[ModuleEffects] = None
+    twin: Optional[ModuleTwinFacts] = None
 
     def is_suppressed(self, rule_id: str, line: int) -> bool:
         rules = self.suppressions.get(line)
@@ -342,5 +346,6 @@ def extract_summary(path: str, source: str, tree: ast.Module,
                 calls=info.calls))
 
     summary.module_effects = extract_module_effects(norm, source, tree)
+    summary.twin = extract_module_twin(norm, source, tree)
 
     return summary

@@ -1,0 +1,75 @@
+"""TWIN01 — config knobs the oracle honors but the fast engine ignores.
+
+The fast kernel replays a *subset* of the oracle's configuration space at
+full fidelity and must **refuse** (fall back to the oracle) everywhere
+else.  That contract has a precise static shadow: every ``SystemConfig``
+field read on the oracle-only part of the simulation (the closure of
+``Simulator.handle_segment`` and the core/memory descent, minus what the
+fast closure shares) must either be read by the fast engine too, or at
+least be *named* in the kernel's own eligibility/fallback strings — the
+greppable evidence that ineligibility was considered.
+
+A field that is neither read nor named is a silent divergence trigger: a
+sweep varying it changes the oracle's answer while the fast engine keeps
+producing the old one, and no crosscheck run at the default value will
+notice.  Deliberate envelope exclusions are documented in the fastsim
+sources with ``# mapglint: twin-exempt=<field>`` on the line making the
+exclusion.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.lint.base import ProjectRule, register_project_rule
+from repro.lint.findings import Severity
+from repro.lint.project.graph import ProjectModel
+from repro.lint.project.twin import TwinRead
+
+
+@register_project_rule
+class TwinConfigCoverageRule(ProjectRule):
+    rule_id = "TWIN01"
+    summary = ("every SystemConfig field the oracle path reads must be "
+               "read, named in an eligibility check, or twin-exempted by "
+               "the fast engine")
+    default_severity = Severity.ERROR
+
+    def run(self, model: "object") -> None:
+        assert isinstance(model, ProjectModel)
+        twin = model.twin()
+        fields = twin.config_fields()
+        if not fields:
+            return
+        covered = (twin.fast_attr_reads() | twin.fastsim_names()
+                   | twin.exempt_names())
+        # One finding per drifting field, anchored at its first oracle
+        # read site; later sites are counted, not repeated.
+        sites: Dict[str, List[Tuple[str, str, TwinRead]]] = {}
+        for qualname in sorted(twin.oracle_exclusive):
+            facts = twin.facts_for(qualname)
+            if facts is None:
+                continue
+            path = twin.module_of(qualname)
+            for read in facts.reads:
+                if read.attr in fields and read.attr not in covered:
+                    sites.setdefault(read.attr, []).append(
+                        (path, qualname, read))
+        for attr in sorted(sites):
+            field_info = fields[attr]
+            occurrences = sorted(sites[attr],
+                                 key=lambda item: (item[0], item[2].line))
+            path, qualname, read = occurrences[0]
+            chain = twin.describe_chain(qualname, twin.oracle_parents)
+            extra = ""
+            if len(occurrences) > 1:
+                extra = f" (and {len(occurrences) - 1} more oracle sites)"
+            self.report(
+                path, read.line, read.col,
+                f"config field {field_info.class_name}.{attr} steers the "
+                f"oracle path ({chain}){extra} but the fast engine "
+                f"neither reads it nor names it in an eligibility or "
+                f"fallback check; a sweep varying it diverges the two "
+                f"engines silently — widen the kernel, refuse it in "
+                f"FastSimulator._eligibility, or document the exclusion "
+                f"with '# mapglint: twin-exempt={attr}'")

@@ -1,0 +1,65 @@
+"""TWIN04 — tuning constants spelled as literals in both engines.
+
+The fast kernel inlines the oracle's policy/predictor update rules, so
+every tuning constant in that arithmetic is *used* at two sites.  Using
+it is fine; **defining** it twice is not: two literals with today-equal
+values are exactly how the engines drift apart — someone retunes the
+oracle's AIMD decay and the kernel keeps replaying the old one, and the
+crosscheck only catches it if its configurations happen to gate.
+
+This rule intersects the non-trivial numeric literals appearing in
+gating/break-even arithmetic (``BinOp``/``Compare`` operands) of the
+fast engine's own modules with those of the oracle closure, and flags
+each shared value at its fastsim site, naming the oracle site it
+duplicates.  The fix is mechanical — hoist the value into one shared
+module-level name and import it from both sides (see
+``repro.core.gating_constants``) — and ``--fix`` applies it
+automatically whenever a module-level definition with the same value
+already exists.
+"""
+
+from __future__ import annotations
+
+from repro.lint.base import ProjectRule, register_project_rule
+from repro.lint.findings import Severity
+from repro.lint.project.graph import ProjectModel
+
+
+@register_project_rule
+class TwinConstantDuplicationRule(ProjectRule):
+    rule_id = "TWIN04"
+    summary = ("gating/break-even constants must be defined once and "
+               "imported by both engines, never duplicated as literals")
+    default_severity = Severity.ERROR
+
+    def run(self, model: "object") -> None:
+        assert isinstance(model, ProjectModel)
+        twin = model.twin()
+        fast_consts = twin.fastsim_constants()
+        if not fast_consts:
+            return
+        oracle_consts = twin.oracle_constants()
+        shared_defs = twin.shared_constant_defs()
+        for key in sorted(set(fast_consts) & set(oracle_consts)):
+            fast_qual, fast_const = fast_consts[key]
+            oracle_qual, oracle_const = oracle_consts[key]
+            oracle_path = twin.module_of(oracle_qual)
+            fast_path = twin.module_of(fast_qual)
+            hoist = shared_defs.get(key)
+            if hoist is not None:
+                def_path, const_def = hoist
+                remedy = (f"import {const_def.name} "
+                          f"({def_path}:{const_def.line}) at both sites "
+                          f"(--fix rewrites the fastsim literal)")
+            else:
+                remedy = ("hoist it into one module-level name (e.g. in "
+                          "repro/core/gating_constants.py) and import it "
+                          "from both engines")
+            self.report(
+                fast_path, fast_const.line, fast_const.col + 1,
+                f"numeric constant {fast_const.text} in "
+                f"{fast_qual.rsplit('::', 1)[-1]} duplicates the oracle's "
+                f"{oracle_const.text} in "
+                f"{oracle_qual.rsplit('::', 1)[-1]} "
+                f"({oracle_path}:{oracle_const.line}); retuning one side "
+                f"silently breaks the engines' bit-identity — {remedy}")

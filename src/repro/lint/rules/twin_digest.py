@@ -1,0 +1,70 @@
+"""TWIN03 — engine code invisible to the simulation-source digest.
+
+:func:`repro.exec.version.simulation_version` hashes the package tree
+(minus ``_EXCLUDED_DIRS``) to key the persistent result cache: edit any
+simulation source and every cached result is orphaned.  That guarantee
+only holds if everything *reachable from either engine* actually lives
+inside the digested tree.  A module that both engines can execute but
+the digest skips — because it sits in an excluded directory, or outside
+the ``repro`` package entirely — means an edit to live simulation
+semantics silently keeps serving stale cached results.
+
+This rule walks the union of the oracle and fast closures and flags any
+member module the digest cannot see, anchoring the finding at the
+closure member and naming the ``_EXCLUDED_DIRS`` definition it fell
+afoul of.  If the digest module itself is outside the linted file set,
+the rule stays quiet rather than guess at the exclusion list.
+"""
+
+from __future__ import annotations
+
+from repro.lint.base import ProjectRule, register_project_rule
+from repro.lint.findings import Severity
+from repro.lint.project.graph import ProjectModel, in_repro
+
+
+@register_project_rule
+class TwinDigestCoverageRule(ProjectRule):
+    rule_id = "TWIN03"
+    summary = ("every module reachable from either engine must be inside "
+               "the source tree simulation_version digests for the "
+               "result cache")
+    default_severity = Severity.ERROR
+
+    def run(self, model: "object") -> None:
+        assert isinstance(model, ProjectModel)
+        twin = model.twin()
+        digest = twin.digest_excluded_dirs()
+        if digest is None:
+            return  # version.py not in the linted set: nothing to verify
+        excluded_dirs, digest_path, digest_line = digest
+        for path, qualname in sorted(twin.closure_modules().items()):
+            info = model.functions_by_qualname.get(qualname)
+            line = info.line if info is not None else 1
+            chain_parents = twin.oracle_parents \
+                if qualname in twin.oracle_parents else twin.fast_parents
+            chain = twin.describe_chain(qualname, chain_parents)
+            parts = path.split("/")
+            if not in_repro(path):
+                self.report(
+                    path, line, 1,
+                    f"module {path} is reachable from a simulation engine "
+                    f"({chain}) but lies outside the repro package tree, "
+                    f"so simulation_version ({digest_path}:{digest_line}) "
+                    f"never digests it; editing it would keep serving "
+                    f"stale cached results — move it under repro/ or cut "
+                    f"the engine's dependency on it")
+                continue
+            # Directory components below the package root are what the
+            # digest walk prunes against _EXCLUDED_DIRS.
+            below = parts[len(parts) - 1 - parts[::-1].index("repro"):-1]
+            hit = next((d for d in below if d in excluded_dirs), None)
+            if hit is not None:
+                self.report(
+                    path, line, 1,
+                    f"module {path} is reachable from a simulation engine "
+                    f"({chain}) but sits under '{hit}/', which "
+                    f"_EXCLUDED_DIRS ({digest_path}:{digest_line}) prunes "
+                    f"from the simulation-source digest; edits to it "
+                    f"would keep serving stale cached results — move the "
+                    f"module or stop excluding '{hit}'")

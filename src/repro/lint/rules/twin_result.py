@@ -1,0 +1,100 @@
+"""TWIN02 — outputs the oracle produces that the fast flush never writes.
+
+The fast kernel keeps its measurements in loop-local scalars and *flushes*
+them into the wrapped simulator's real objects (ledger, counters,
+histograms) at the end of a region, so ``sim.result()`` serializes
+identical state whichever engine ran.  Statically, that means every
+output the oracle-only path emits must have a fast-side writer:
+
+* a :class:`PowerState` ledger tag charged on the oracle path must be
+  batch-added by the fast flush;
+* a counter key the oracle path adds (by string literal) must appear in
+  the fast engine's ``counters.add``/``_flush_counters`` emissions;
+* a ``SimulationResult`` field constructed on an oracle-only path must
+  be constructed by the fast closure too.
+
+A missing writer silently drops a column from every fast-path result —
+the kind of drift a spot-check crosscheck configuration may never
+exercise.  Dynamically-keyed emissions (f-string counter keys, keys held
+in module constants) are invisible to this rule by design; it checks the
+literal-keyed contract only.  Deliberate gaps are documented with
+``# mapglint: twin-exempt=<tag-or-key>``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.lint.base import ProjectRule, register_project_rule
+from repro.lint.findings import Severity
+from repro.lint.project.graph import ProjectModel
+from repro.lint.project.twin import _is_powerstate_read
+
+
+@register_project_rule
+class TwinResultCoverageRule(ProjectRule):
+    rule_id = "TWIN02"
+    summary = ("every ledger tag, counter key, and SimulationResult field "
+               "the oracle path produces must be written by the fast "
+               "engine's flush")
+    default_severity = Severity.ERROR
+
+    def run(self, model: "object") -> None:
+        assert isinstance(model, ProjectModel)
+        twin = model.twin()
+        exempt = twin.exempt_names()
+        fast_tags = twin.fast_ledger_tags()
+        fast_keys = twin.fast_counter_keys()
+        fast_fields = twin.fast_result_fields()
+
+        tags: Dict[str, Tuple[str, str, int, int]] = {}
+        keys: Dict[str, Tuple[str, str, int]] = {}
+        fields: Dict[str, Tuple[str, str, int]] = {}
+        for qualname in sorted(twin.oracle_exclusive):
+            facts = twin.facts_for(qualname)
+            if facts is None:
+                continue
+            path = twin.module_of(qualname)
+            for read in facts.reads:
+                if _is_powerstate_read(read) and read.attr not in fast_tags \
+                        and read.attr not in exempt:
+                    tags.setdefault(read.attr,
+                                    (path, qualname, read.line, read.col))
+            for key, line in facts.counter_keys:
+                if key not in fast_keys and key not in exempt:
+                    keys.setdefault(key, (path, qualname, line))
+            for name, line in facts.result_fields:
+                if name not in fast_fields and name not in exempt:
+                    fields.setdefault(name, (path, qualname, line))
+
+        for tag in sorted(tags):
+            path, qualname, line, col = tags[tag]
+            chain = twin.describe_chain(qualname, twin.oracle_parents)
+            self.report(
+                path, line, col,
+                f"the oracle path ({chain}) charges ledger tag "
+                f"PowerState.{tag} but the fast engine's flush never "
+                f"writes it; fast-path runs drop that energy bucket from "
+                f"SimulationResult — mirror it in the kernel's "
+                f"ledger.add_batch section or add "
+                f"'# mapglint: twin-exempt={tag}'")
+        for key in sorted(keys):
+            path, qualname, line = keys[key]
+            chain = twin.describe_chain(qualname, twin.oracle_parents)
+            self.report(
+                path, line, 1,
+                f"the oracle path ({chain}) emits counter '{key}' but the "
+                f"fast engine's flush never writes that key; fast-path "
+                f"runs drop it from the serialized counters — mirror it "
+                f"in FastSimulator's flush (counters.add or "
+                f"_flush_counters) or add '# mapglint: twin-exempt={key}'")
+        for name in sorted(fields):
+            path, qualname, line = fields[name]
+            chain = twin.describe_chain(qualname, twin.oracle_parents)
+            self.report(
+                path, line, 1,
+                f"SimulationResult field '{name}' is constructed on an "
+                f"oracle-only path ({chain}) and never by the fast "
+                f"closure; fast-path results lose it — route both engines "
+                f"through one result constructor or add "
+                f"'# mapglint: twin-exempt={name}'")

@@ -85,6 +85,13 @@ DEFAULT_BANDS: Tuple[ToleranceBand, ...] = (
     ToleranceBand("cache_warm.speedup_vs_cold", 0.50),
     ToleranceBand("sweep_parallel.speedup_vs_serial", 0.50),
     ToleranceBand("sweep.cells_per_sec", 0.50),
+    # Engine-mix telemetry (mapg.sweep-manifest/1 counters.engines):
+    # fewer fast-path cells, or more kernel refusals, than the baseline
+    # sweep means an eligibility regression — the grid silently fell
+    # back to the 13x-slower oracle.  Skipped when the baseline predates
+    # the engine counters.
+    ToleranceBand("sweep.engines.fast", 0.50, "higher"),
+    ToleranceBand("sweep.engines.fast_fallback", 0.50, "lower"),
 )
 
 
@@ -114,7 +121,9 @@ def flatten_metrics(document: Mapping[str, Any]) -> Dict[str, float]:
     * self-profile stages       -> ``<stage>.wall_s`` / ``.events_per_sec``
       (whether the profile is the document itself or its ``self_profile``
       embed; row names win on collision since they are the curated view)
-    * sweep-manifest counters   -> ``sweep.<counter>``
+    * sweep-manifest counters   -> ``sweep.<counter>``, with one level of
+      nesting for grouped counters -> ``sweep.<group>.<counter>`` (e.g.
+      ``sweep.engines.fast``, ``sweep.fallback_reasons.<reason>``)
     """
     metrics: Dict[str, float] = {}
     rows = document.get("rows")
@@ -145,6 +154,14 @@ def flatten_metrics(document: Mapping[str, Any]) -> Dict[str, float]:
             for field, value in sorted(counters.items()):
                 if _is_number(value):
                     metrics[f"sweep.{field}"] = float(value)
+                elif isinstance(value, Mapping):
+                    # One level of grouped counters (engines,
+                    # fallback_reasons, per_worker) — deeper nesting is
+                    # not a counter shape the manifest produces.
+                    for sub_field, sub_value in sorted(value.items()):
+                        if _is_number(sub_value):
+                            metrics[f"sweep.{field}.{sub_field}"] = \
+                                float(sub_value)
     return metrics
 
 

@@ -13,7 +13,8 @@ artifacts:
   list, the simulation-source digest, per-cell timing/source records,
   failure records from the :class:`~repro.errors.SweepError` path, and
   aggregate counters (hit rate, dedupe count, worker utilization,
-  cells/sec) next to the environment manifest;
+  cells/sec, per-engine cell counts with fast-path fallback reasons)
+  next to the environment manifest;
 * an optional **live progress/ETA line** for TTY runs.
 
 The determinism contract mirrors :mod:`repro.obs.spans`: sweep *results*
@@ -63,6 +64,25 @@ EVENT_REQUIRED_KEYS: Dict[str, Tuple[str, ...]] = {
     "cell_failed": ("key", "error", "worker"),
     "sweep_end": ("wall_s", "executed", "hits", "failed", "cells_per_sec"),
 }
+# ``cell_queued`` and ``cell_done`` additionally carry ``engine`` (and
+# ``cell_done`` a ``fallback_reasons`` list) when the runner reports
+# them.  Deliberately *not* required keys: streams recorded before the
+# engine telemetry existed must keep validating.
+
+
+def _engine_bucket(engine: Optional[str],
+                   fallback_reasons: Sequence[str]) -> str:
+    """Which ``counters.engines`` bucket one executed cell lands in.
+
+    A fast-engine cell the kernel refused (non-empty fallback reasons)
+    ran bit-identically through oracle delegation; it is counted as
+    ``fast_fallback`` so the manifest shows how much of the grid
+    actually took the fast path.  Shared by the recorder and the
+    manifest validator so the two can never disagree on classification.
+    """
+    if engine == "fast":
+        return "fast_fallback" if fallback_reasons else "fast"
+    return "oracle"
 
 #: Event types that reference a cell and therefore require the key to
 #: have been announced by a prior ``cell_queued``.
@@ -86,7 +106,7 @@ class NullSweepRecorder:
         """Record nothing."""
 
     def cell_queued(self, key: str, profile: str, policy: str, seed: int,
-                    num_ops: int) -> None:
+                    num_ops: int, engine: str = "oracle") -> None:
         """Record nothing."""
 
     def cell_cache_hit(self, key: str) -> None:
@@ -101,7 +121,9 @@ class NullSweepRecorder:
     def cell_start(self, key: str) -> None:
         """Record nothing."""
 
-    def cell_done(self, key: str, worker: int = 0) -> None:
+    def cell_done(self, key: str, worker: int = 0,
+                  engine: Optional[str] = None,
+                  fallback_reasons: Sequence[str] = ()) -> None:
         """Record nothing."""
 
     def cell_failed(self, key: str, error: str, worker: int = 0) -> None:
@@ -156,6 +178,9 @@ class SweepRecorder(NullSweepRecorder):
         self._begin_t: Optional[float] = None
         self._dispatch_t: Optional[float] = None
         self._start_t: Dict[str, float] = {}
+        self._engine_counts: Dict[str, int] = {
+            "oracle": 0, "fast": 0, "fast_fallback": 0}
+        self._fallback_reasons: Dict[str, int] = {}
 
     # -- internals ---------------------------------------------------------
 
@@ -183,15 +208,22 @@ class SweepRecorder(NullSweepRecorder):
             simulation_version=simulation_version, cache=cache_attached)
 
     def cell_queued(self, key: str, profile: str, policy: str, seed: int,
-                    num_ops: int) -> None:
-        """Announce one distinct cell of the sweep (first-seen order)."""
+                    num_ops: int, engine: str = "oracle") -> None:
+        """Announce one distinct cell of the sweep (first-seen order).
+
+        ``engine`` is the engine the spec *requests*; whether a fast
+        cell actually took the fast path is only known at
+        :meth:`cell_done`, which overwrites the record with the
+        telemetry-reported engine and fallback reasons.
+        """
         self._emit("cell_queued", key=key, profile=profile, policy=policy,
-                   seed=seed, num_ops=num_ops)
+                   seed=seed, num_ops=num_ops, engine=engine)
         if key not in self._cells:
             self._cells[key] = {
                 "profile": profile, "policy": policy, "seed": seed,
                 "num_ops": num_ops, "source": "queued",
                 "worker": None, "wall_s": None,
+                "engine": engine, "fallback_reasons": None,
             }
 
     def cell_cache_hit(self, key: str) -> None:
@@ -217,17 +249,34 @@ class SweepRecorder(NullSweepRecorder):
         """Serial path only: this cell starts executing right now."""
         self._start_t[key] = self._emit("cell_start", key=key)
 
-    def cell_done(self, key: str, worker: int = 0) -> None:
-        """One cell finished; ``worker`` is 0 on the serial path."""
+    def cell_done(self, key: str, worker: int = 0,
+                  engine: Optional[str] = None,
+                  fallback_reasons: Sequence[str] = ()) -> None:
+        """One cell finished; ``worker`` is 0 on the serial path.
+
+        ``engine``/``fallback_reasons`` come from
+        :meth:`~repro.exec.jobspec.JobSpec.execute_with_telemetry`; a
+        caller without telemetry (``engine=None``) falls back to the
+        engine announced at :meth:`cell_queued`.
+        """
         now = self._now()
         wall = self._cell_wall(key, now)
         self.completed += 1
-        self._emit("cell_done", key=key, wall_s=round(wall, 6),
-                   worker=worker)
         record = self._cells.get(key)
+        if engine is None:
+            engine = record["engine"] if record is not None else "oracle"
+        reasons = list(fallback_reasons)
+        bucket = _engine_bucket(engine, reasons)
+        self._engine_counts[bucket] = self._engine_counts.get(bucket, 0) + 1
+        for reason in reasons:
+            self._fallback_reasons[reason] = \
+                self._fallback_reasons.get(reason, 0) + 1
+        self._emit("cell_done", key=key, wall_s=round(wall, 6),
+                   worker=worker, engine=engine, fallback_reasons=reasons)
         if record is not None:
             record.update(source="executed", worker=worker,
-                          wall_s=round(wall, 6))
+                          wall_s=round(wall, 6), engine=engine,
+                          fallback_reasons=reasons)
         self._render_progress()
 
     def cell_failed(self, key: str, error: str, worker: int = 0) -> None:
@@ -328,6 +377,9 @@ class SweepRecorder(NullSweepRecorder):
             "jobs": self.jobs,
             "per_worker": per_worker,
             "worker_utilization": utilization,
+            "engines": dict(self._engine_counts),
+            "fallback_reasons": dict(sorted(
+                self._fallback_reasons.items())),
         }
 
     def manifest(self) -> Dict[str, Any]:
@@ -485,4 +537,54 @@ def validate_sweep_manifest(manifest: Mapping[str, Any]) -> List[str]:
     if len(failed_cells) != failed:
         problems.append(f"counters.failed {failed} != "
                         f"{len(failed_cells)} failed cell records")
+    problems.extend(_validate_engine_counters(counters, cells, executed))
+    return problems
+
+
+def _validate_engine_counters(counters: Mapping[str, Any],
+                              cells: Mapping[str, Any],
+                              executed: Any) -> List[str]:
+    """Reconcile ``counters.engines``/``fallback_reasons`` with the cells.
+
+    Only runs when the manifest carries an ``engines`` counter —
+    manifests recorded before the engine telemetry existed validate
+    unchanged.  Checks: the engine buckets sum to ``executed``, every
+    executed cell's recorded engine/fallback classification agrees with
+    the bucket counts, and the per-reason counters match the per-cell
+    ``fallback_reasons`` lists exactly.
+    """
+    engines = counters.get("engines")
+    if engines is None:
+        return []
+    if not isinstance(engines, Mapping):
+        return ["counters.engines is not a mapping"]
+    problems: List[str] = []
+    total = sum(value for value in engines.values()
+                if isinstance(value, int) and not isinstance(value, bool))
+    if total != executed:
+        problems.append(f"counters.engines sum {total} != "
+                        f"executed {executed}")
+    recomputed: Dict[str, int] = {}
+    recomputed_reasons: Dict[str, int] = {}
+    for record in cells.values():
+        if not isinstance(record, Mapping) \
+                or record.get("source") != "executed":
+            continue
+        reasons = record.get("fallback_reasons") or []
+        bucket = _engine_bucket(record.get("engine"), reasons)
+        recomputed[bucket] = recomputed.get(bucket, 0) + 1
+        for reason in reasons:
+            recomputed_reasons[reason] = \
+                recomputed_reasons.get(reason, 0) + 1
+    declared = {key: value for key, value in engines.items() if value}
+    if declared != recomputed:
+        problems.append(
+            f"per-cell engine records {recomputed!r} disagree with "
+            f"counters.engines {declared!r}")
+    declared_reasons = counters.get("fallback_reasons")
+    if isinstance(declared_reasons, Mapping) \
+            and dict(declared_reasons) != recomputed_reasons:
+        problems.append(
+            f"per-cell fallback_reasons {recomputed_reasons!r} disagree "
+            f"with counters.fallback_reasons {dict(declared_reasons)!r}")
     return problems

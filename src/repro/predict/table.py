@@ -15,6 +15,8 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.config import GatingConfig
+from repro.core.gating_constants import (
+    TABLE_BANK_MULT, TABLE_KIND_MASK, TABLE_KIND_MULT, TABLE_PC_SHIFT)
 from repro.errors import PredictionError
 from repro.predict.base import LatencyPredictor, Prediction
 from repro.predict.simple import EwmaPredictor, FixedPredictor, LastValuePredictor
@@ -55,9 +57,9 @@ class HistoryTablePredictor(LatencyPredictor):
     def _index(self, pc: int, bank: int, kind: str) -> int:
         # Cheap hardware hash: fold pc over the bank id and the row-buffer
         # outcome (2 bits in hardware; hashed from the string here).
-        kind_bits = sum(kind.encode()) & 0x3F
-        return ((pc >> 2) ^ (bank * 0x9E37) ^ (kind_bits * 0x68E31)) \
-            % self._entries_count
+        kind_bits = sum(kind.encode()) & TABLE_KIND_MASK
+        return ((pc >> TABLE_PC_SHIFT) ^ (bank * TABLE_BANK_MULT)
+                ^ (kind_bits * TABLE_KIND_MULT)) % self._entries_count
 
     def predict(self, pc: int, bank: int, kind: str = "") -> Prediction:
         entry = self._table[self._index(pc, bank, kind)]

@@ -46,6 +46,12 @@ KHZ = 1e3
 MHZ = 1e6
 GHZ = 1e9
 
+# Guard epsilon for :func:`seconds_to_cycles_ceil`: a duration that lands
+# within one part in 10^12 of a whole cycle is treated as exactly whole,
+# so float noise from the ns<->s round trip never ceils to an extra
+# cycle.  Shared with the fast kernel's inlined copy of the conversion.
+CYCLE_CEIL_EPSILON = 1e-12
+
 
 def cycles_to_seconds(cycles: float, frequency_hz: float) -> float:
     """Convert a cycle count at ``frequency_hz`` to seconds."""
@@ -81,7 +87,8 @@ def seconds_to_cycles_ceil(seconds: float, frequency_hz: float) -> int:
     Rounding up is the conservative choice for latencies: a hardware event
     that takes 3.2 cycles occupies 4 clock edges.
     """
-    return int(math.ceil(seconds_to_cycles(seconds, frequency_hz) - 1e-12))
+    return int(math.ceil(seconds_to_cycles(seconds, frequency_hz)
+                         - CYCLE_CEIL_EPSILON))
 
 
 def energy_joules(power_watts: float, seconds: float) -> float:

@@ -85,6 +85,21 @@ class TestFlattening:
         assert metrics["sweep.hits"] == 3.0
         assert "sweep.per_worker" not in metrics
 
+    def test_sweep_grouped_counters_flatten_one_level(self):
+        manifest = {"schema": "mapg.sweep-manifest/1",
+                    "counters": {
+                        "executed": 6,
+                        "engines": {"oracle": 2, "fast": 3,
+                                    "fast_fallback": 1},
+                        "fallback_reasons": {"prefetcher enabled": 1},
+                    }}
+        metrics = flatten_metrics(manifest)
+        assert metrics["sweep.engines.fast"] == 3.0
+        assert metrics["sweep.engines.fast_fallback"] == 1.0
+        assert metrics["sweep.fallback_reasons.prefetcher enabled"] == 1.0
+        # The group itself is not a metric.
+        assert "sweep.engines" not in metrics
+
 
 class TestBands:
     def test_parse_band_forms(self):
@@ -156,6 +171,23 @@ class TestCompare:
         assert "single_core.ops_per_sec" in names
         assert "cache_warm.speedup_vs_cold" in names
         assert "sweep.cells_per_sec" in names
+
+    def test_default_bands_watch_the_engine_mix(self):
+        """A sweep silently falling back to the oracle is an anomaly."""
+        def manifest(fast, fallback):
+            return {"schema": "mapg.sweep-manifest/1",
+                    "counters": {"engines": {"oracle": 2, "fast": fast,
+                                             "fast_fallback": fallback}}}
+        report = compare_to_baseline(manifest(fast=1, fallback=7),
+                                     manifest(fast=8, fallback=0))
+        names = {anomaly["metric"] for anomaly in report["anomalies"]}
+        assert "sweep.engines.fast" in names
+        # fast_fallback is lower-is-better but the baseline count is 0,
+        # so only the eligibility collapse itself is flagged.
+        assert report["ok"] is False
+        report = compare_to_baseline(manifest(fast=8, fallback=0),
+                                     manifest(fast=8, fallback=0))
+        assert report["ok"] is True
 
 
 class TestStaleness:

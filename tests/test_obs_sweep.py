@@ -8,6 +8,7 @@ exactly once as a hit, an executed cell, or a failure, and those counts
 agree with the engine's own counters and the cache on disk.
 """
 
+import dataclasses
 import io
 import json
 
@@ -286,6 +287,102 @@ class TestArtifacts:
         assert events.name == "s.events.jsonl"
         manifest, events = sweep_artifact_paths(tmp_path / "bare")
         assert events.name == "bare.events.jsonl"
+
+
+class TestEngineTelemetry:
+    def _mixed_specs(self, num_ops=200):
+        """Two oracle cells, one eligible fast cell, one fast fallback."""
+        config = SystemConfig()
+        windowed = config.replace(
+            core=dataclasses.replace(config.core, miss_window=2))
+        return [
+            JobSpec(config=with_policy(config, "never"),
+                    profile="gcc_like", num_ops=num_ops, seed=3),
+            JobSpec(config=with_policy(config, "mapg"),
+                    profile="gcc_like", num_ops=num_ops, seed=3),
+            JobSpec(config=with_policy(config, "mapg"),
+                    profile="mcf_like", num_ops=num_ops, seed=3,
+                    engine="fast"),
+            JobSpec(config=with_policy(windowed, "mapg"),
+                    profile="mcf_like", num_ops=num_ops, seed=3,
+                    engine="fast"),
+        ]
+
+    def test_serial_sweep_counts_engines_and_reasons(self):
+        recorder = SweepRecorder()
+        SweepRunner(recorder=recorder).run(self._mixed_specs())
+        counters = recorder.summary()
+        assert counters["engines"] == {"oracle": 2, "fast": 1,
+                                       "fast_fallback": 1}
+        assert counters["fallback_reasons"] == {
+            "miss_window > 1 (WindowedCore)": 1}
+        manifest = recorder.manifest()
+        assert validate_sweep_manifest(manifest) == []
+        by_profile_engine = {
+            (record["profile"], record["engine"]):
+                record["fallback_reasons"]
+            for record in manifest["cells"].values()}
+        assert by_profile_engine[("gcc_like", "oracle")] == []
+        assert by_profile_engine[("mcf_like", "fast")] in (
+            [], ["miss_window > 1 (WindowedCore)"])
+
+    def test_pool_sweep_counts_engines_and_reasons(self):
+        recorder = SweepRecorder()
+        SweepRunner(jobs=4, recorder=recorder).run(self._mixed_specs())
+        counters = recorder.summary()
+        assert counters["engines"] == {"oracle": 2, "fast": 1,
+                                       "fast_fallback": 1}
+        assert counters["fallback_reasons"] == {
+            "miss_window > 1 (WindowedCore)": 1}
+        assert validate_sweep_manifest(recorder.manifest()) == []
+
+    def test_cell_events_carry_engine_fields(self):
+        recorder = SweepRecorder()
+        SweepRunner(recorder=recorder).run(self._mixed_specs())
+        queued_engines = [event["engine"] for event in recorder.events()
+                          if event["event"] == "cell_queued"]
+        assert queued_engines.count("fast") == 2
+        done = [event for event in recorder.events()
+                if event["event"] == "cell_done"]
+        assert all("engine" in event and "fallback_reasons" in event
+                   for event in done)
+        assert validate_sweep_events(recorder.events()) == []
+
+    def test_manifest_validator_reconciles_engine_counters(self):
+        recorder = SweepRecorder()
+        SweepRunner(recorder=recorder).run(self._mixed_specs(num_ops=120))
+        good = recorder.manifest()
+
+        broken = json.loads(json.dumps(good))
+        broken["counters"]["engines"]["fast"] += 1
+        problems = validate_sweep_manifest(broken)
+        assert any("counters.engines sum" in problem
+                   for problem in problems)
+
+        broken = json.loads(json.dumps(good))
+        for record in broken["cells"].values():
+            if record["engine"] == "oracle":
+                record["engine"] = "fast"
+                break
+        assert any("disagree with counters.engines" in problem
+                   for problem in validate_sweep_manifest(broken))
+
+        broken = json.loads(json.dumps(good))
+        broken["counters"]["fallback_reasons"]["invented reason"] = 2
+        assert any("counters.fallback_reasons" in problem
+                   for problem in validate_sweep_manifest(broken))
+
+    def test_manifest_without_engine_counters_still_validates(self):
+        """Forward compatibility: pre-telemetry manifests stay valid."""
+        recorder = SweepRecorder()
+        SweepRunner(recorder=recorder).run(tiny_specs(num_ops=120))
+        old = json.loads(json.dumps(recorder.manifest()))
+        del old["counters"]["engines"]
+        del old["counters"]["fallback_reasons"]
+        for record in old["cells"].values():
+            del record["engine"]
+            del record["fallback_reasons"]
+        assert validate_sweep_manifest(old) == []
 
 
 class TestCliTelemetry:
